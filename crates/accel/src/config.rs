@@ -1,0 +1,217 @@
+//! Hardware configurations and the area model.
+
+use serde::{Deserialize, Serialize};
+
+/// An accelerator configuration.
+///
+/// The default MetaSapiens configuration (paper §6): 8 Culling & Conversion
+/// Units, a single Hierarchical Sorting Unit, a 16×16 Volume Rendering Core
+/// array, 1 KB line buffers, a 64 KB double buffer before the sorter,
+/// 2.73 mm² in TSMC 16 nm. GSCore's balance differs: 2 sorting units and a
+/// quarter of the VRCs (1.45 mm² scaled to 16 nm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Culling & Conversion (projection) units; one point per cycle each.
+    pub ccu_count: u32,
+    /// Hierarchical sorting units.
+    pub sorter_count: u32,
+    /// Volume Rendering Core array entries (e.g. 256 for a 16×16 array).
+    pub vrc_count: u32,
+    /// Elements the sorter network accepts per cycle (per unit).
+    pub sorter_throughput: u32,
+    /// Tile Merging enabled.
+    pub tile_merging: bool,
+    /// TMU cumulative-intersection threshold β.
+    pub tile_merge_beta: u32,
+    /// Incremental pipelining (line buffers) enabled.
+    pub incremental_pipelining: bool,
+    /// Sub-tiles per tile under IP (16 rows of a 16×16 tile).
+    pub subtiles: u32,
+    /// Per-tile pipeline overhead in cycles for the rasterizer (buffer
+    /// swap, tile setup).
+    pub tile_overhead_cycles: u32,
+    /// Per-tile front-end overhead in cycles (tile-ID reassignment, sorter
+    /// setup, output-buffer handoff). This fixed cost is what starves the
+    /// VRC array on tiny peripheral tiles — the imbalance TM amortizes.
+    pub frontend_overhead_cycles: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Inter-stage buffer capacity in bytes (double buffer; line buffers
+    /// replace it under IP).
+    pub double_buffer_bytes: u32,
+    /// Line-buffer capacity in bytes (used when IP is on).
+    pub line_buffer_bytes: u32,
+    /// DRAM bandwidth in GB/s (four channels of LPDDR3-1600, paper §6).
+    pub dram_gbps: f64,
+    /// Effective compression of the streamed point format relative to the
+    /// float32 checkpoint (quantized positions/scales, pruned SH bands held
+    /// on-chip) — GSCore-style accelerators stream a packed format.
+    pub dram_compression: f64,
+}
+
+impl AccelConfig {
+    /// MetaSapiens base accelerator (FR support, no TM/IP) — "Base" in
+    /// Fig. 14.
+    pub fn metasapiens_base() -> Self {
+        Self {
+            name: "MetaSapiens-Base".into(),
+            ccu_count: 8,
+            sorter_count: 1,
+            vrc_count: 256,
+            sorter_throughput: 8,
+            tile_merging: false,
+            tile_merge_beta: 512,
+            incremental_pipelining: false,
+            subtiles: 16,
+            tile_overhead_cycles: 24,
+            frontend_overhead_cycles: 64,
+            clock_ghz: 1.0,
+            double_buffer_bytes: 64 * 1024,
+            line_buffer_bytes: 1024,
+            dram_gbps: 25.6,
+            dram_compression: 6.0,
+        }
+    }
+
+    /// Base + Tile Merging ("Base+TM").
+    pub fn metasapiens_tm() -> Self {
+        Self {
+            name: "MetaSapiens-TM".into(),
+            tile_merging: true,
+            ..Self::metasapiens_base()
+        }
+    }
+
+    /// Base + TM + Incremental Pipelining ("Base+TM+IP", the full design).
+    pub fn metasapiens_tm_ip() -> Self {
+        Self {
+            name: "MetaSapiens-TM-IP".into(),
+            tile_merging: true,
+            incremental_pipelining: true,
+            ..Self::metasapiens_base()
+        }
+    }
+
+    /// GSCore's resource balance: 2× the sorting units, 4× fewer VRCs, no
+    /// TM/IP (§7.5: "our baseline hardware has 4× more Volume Rendering
+    /// Cores compared to that of GSCore with 2× fewer sorting unit[s]").
+    pub fn gscore() -> Self {
+        Self {
+            name: "GSCore".into(),
+            ccu_count: 8,
+            sorter_count: 2,
+            vrc_count: 64,
+            sorter_throughput: 8,
+            tile_merging: false,
+            tile_merge_beta: 512,
+            incremental_pipelining: false,
+            subtiles: 16,
+            tile_overhead_cycles: 24,
+            frontend_overhead_cycles: 64,
+            clock_ghz: 1.0,
+            double_buffer_bytes: 64 * 1024,
+            line_buffer_bytes: 1024,
+            dram_gbps: 25.6,
+            dram_compression: 6.0,
+        }
+    }
+
+    /// Scale compute resources by `factor` (Fig. 15's proportional scaling
+    /// "based on their own resource ratio"). Buffers scale with the VRCs.
+    pub fn scaled(&self, factor: f32) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale_u32 = |v: u32| ((v as f32 * factor).round() as u32).max(1);
+        Self {
+            name: format!("{}×{:.2}", self.name, factor),
+            ccu_count: scale_u32(self.ccu_count),
+            sorter_count: scale_u32(self.sorter_count),
+            vrc_count: scale_u32(self.vrc_count),
+            double_buffer_bytes: scale_u32(self.double_buffer_bytes),
+            line_buffer_bytes: scale_u32(self.line_buffer_bytes),
+            ..self.clone()
+        }
+    }
+
+    /// Die area in mm² (TSMC 16 nm).
+    ///
+    /// Calibrated to the paper's figures: the full MetaSapiens design is
+    /// 2.73 mm² with the VRC array taking 63% and SRAM 7%; GSCore scales to
+    /// 1.45 mm².
+    pub fn area_mm2(&self) -> f32 {
+        const A_VRC: f32 = 7.0e-3; // per volume-rendering core
+        const A_SORTER: f32 = 0.15; // per hierarchical sorting unit
+        const A_CCU: f32 = 0.037; // per culling & conversion unit
+        const A_SRAM_PER_KB: f32 = 1.2e-3;
+        const A_MISC: f32 = 0.35; // control, NoC, DRAM PHY share
+        let buffer_kb = if self.incremental_pipelining {
+            // Line buffers replace the inter-stage double buffers; the
+            // sorter-input double buffer remains.
+            (self.double_buffer_bytes + 4 * self.line_buffer_bytes) as f32 / 1024.0
+        } else {
+            (3 * self.double_buffer_bytes) as f32 / 1024.0
+        };
+        self.vrc_count as f32 * A_VRC
+            + self.sorter_count as f32 * A_SORTER
+            + self.ccu_count as f32 * A_CCU
+            + buffer_kb * A_SRAM_PER_KB
+            + A_MISC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_areas_are_reproduced() {
+        let ours = AccelConfig::metasapiens_tm_ip().area_mm2();
+        assert!((ours - 2.73).abs() < 0.35, "MetaSapiens area {ours} vs paper 2.73 mm²");
+        let gscore = AccelConfig::gscore().area_mm2();
+        assert!((gscore - 1.45).abs() < 0.35, "GSCore area {gscore} vs paper 1.45 mm²");
+        assert!(ours > gscore);
+    }
+
+    #[test]
+    fn vrc_array_dominates_area() {
+        let c = AccelConfig::metasapiens_tm_ip();
+        let vrc_share = c.vrc_count as f32 * 7.0e-3 / c.area_mm2();
+        assert!((0.5..0.75).contains(&vrc_share), "VRC share {vrc_share} (paper: 63%)");
+    }
+
+    #[test]
+    fn ip_reduces_sram_area() {
+        let with_ip = AccelConfig::metasapiens_tm_ip().area_mm2();
+        let mut no_ip = AccelConfig::metasapiens_tm_ip();
+        no_ip.incremental_pipelining = false;
+        assert!(with_ip < no_ip.area_mm2());
+    }
+
+    #[test]
+    fn scaling_multiplies_units() {
+        let c = AccelConfig::gscore().scaled(2.0);
+        assert_eq!(c.vrc_count, 128);
+        assert_eq!(c.sorter_count, 4);
+        assert!(c.area_mm2() > AccelConfig::gscore().area_mm2());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_panics() {
+        let _ = AccelConfig::gscore().scaled(0.0);
+    }
+
+    #[test]
+    fn config_presets_differ_as_documented() {
+        let base = AccelConfig::metasapiens_base();
+        assert!(!base.tile_merging && !base.incremental_pipelining);
+        let tm = AccelConfig::metasapiens_tm();
+        assert!(tm.tile_merging && !tm.incremental_pipelining);
+        let full = AccelConfig::metasapiens_tm_ip();
+        assert!(full.tile_merging && full.incremental_pipelining);
+        let gscore = AccelConfig::gscore();
+        assert_eq!(gscore.sorter_count, 2);
+        assert_eq!(gscore.vrc_count, base.vrc_count / 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 4: LightGS pruned to different levels on `bicycle` — latency per
+//! frame vs point count vs tile-ellipse intersections. The point of the
+//! figure: latency tracks intersections, not point count.
+
+use metasapiens::baselines::lightgs_with_keep_fraction;
+use metasapiens::gpu::{FrameWorkload, GpuCostModel};
+use metasapiens::render::Renderer;
+use metasapiens::scene::dataset::TraceId;
+use ms_bench::{load_trace, print_table, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let scale = config.scale_factors();
+    let gpu = GpuCostModel::xavier();
+    let trace = TraceId::by_name("bicycle").expect("bicycle exists");
+    println!("== Fig. 4: prune level vs latency on {trace} ==\n");
+    let loaded = load_trace(trace, &config);
+    let renderer = Renderer::default();
+    let tiles = {
+        let out = renderer.render(&loaded.scene.model, &loaded.cameras[0]);
+        out.stats.grid.tile_count() as f64
+    };
+
+    // Paper sweeps 75%–97% pruned.
+    let mut rows = Vec::new();
+    for keep in [1.0f32, 0.25, 0.15, 0.10, 0.06, 0.03] {
+        let b = lightgs_with_keep_fraction(&loaded.scene, keep);
+        let mut latency = 0.0f64;
+        let mut isect = 0.0f64;
+        for cam in &loaded.cameras {
+            let out = renderer.render(&b.model, cam);
+            isect += out.stats.total_intersections as f64;
+            latency += gpu.frame_latency(
+                &FrameWorkload::from_stats(&out.stats, false)
+                    .scaled(scale.point_factor, scale.pixel_factor),
+            );
+        }
+        let n = loaded.cameras.len() as f64;
+        rows.push(vec![
+            format!("{:.0}%", (1.0 - keep) * 100.0),
+            format!("{}", b.model.len()),
+            format!("{:.1}", isect / n / tiles),
+            format!("{:.1}", latency / n * 1e3),
+        ]);
+    }
+    print_table(&["pruned", "points", "isect/tile", "latency (ms)"], &rows);
+    println!("\npaper shape: the latency column falls with the intersections column,");
+    println!("much slower than the point-count column falls.");
+}

@@ -1,0 +1,130 @@
+//! Fig. 11: the 2IFC subjective study, **simulated** with a psychophysical
+//! observer model (see `ms_bench::userstudy` for the substitution
+//! argument). Method A = MetaSapiens-H (foveated render), method B =
+//! Mini-Splatting-D (dense render); both scored by HVSQ against the ground
+//! truth, votes sampled per participant, binomial test as in the paper.
+
+use metasapiens::fov::FoveatedRenderer;
+use metasapiens::hvs::{DisplayGeometry, EccentricityMap, Hvsq, HvsqOptions};
+use metasapiens::pipeline::{build_system, BuildConfig, Variant};
+use metasapiens::render::{RenderOptions, Renderer};
+use metasapiens::scene::dataset::TraceId;
+use ms_bench::userstudy::{significance, simulate_trace, ObserverModel, TraceVotes};
+use ms_bench::{load_trace, print_table, ExperimentConfig};
+use ms_render::Image;
+
+/// Blur the image outside the 18° foveal region — the classic quality
+/// relaxation that conventional foveated rendering applies and that users
+/// do not notice (the paper's Fig. 2 manipulation). Its HVSQ against the
+/// reference anchors the observer's detection threshold in our metric's
+/// units: peripheral distortion of this magnitude is, by construction of
+/// the FR literature, imperceptible.
+fn peripheral_blur(img: &Image, ecc: &EccentricityMap, radius: i32) -> Image {
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            if ecc.at(x, y) < 18.0 {
+                continue;
+            }
+            let mut acc = ms_math::Vec3::zero();
+            let mut n = 0.0f32;
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let xx = (x as i32 + dx).clamp(0, img.width() as i32 - 1) as u32;
+                    let yy = (y as i32 + dy).clamp(0, img.height() as i32 - 1) as u32;
+                    acc += img.pixel(xx, yy);
+                    n += 1.0;
+                }
+            }
+            out.set_pixel(x, y, acc / n);
+        }
+    }
+    out
+}
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("== Fig. 11 (SIMULATED user study): ours vs Mini-Splatting-D ==");
+    println!("12 simulated observers x 8 repetitions per trace, 2IFC\n");
+
+    let observer = ObserverModel::default();
+    let fr = FoveatedRenderer::new(RenderOptions::default());
+    let renderer = Renderer::default();
+    let mut votes: Vec<TraceVotes> = Vec::new();
+    let mut rows = Vec::new();
+
+    for (i, trace) in TraceId::user_study().into_iter().enumerate() {
+        let loaded = load_trace(trace, &config);
+        let mut build = BuildConfig::fast_for_tests(Variant::H);
+        // Fig. 11 evaluates the full system: enable the per-level
+        // multi-version fine-tuning of §4.3.
+        build.fr.finetune = Some(metasapiens::train::finetune::FineTuneConfig {
+            iterations: 20,
+            scale_decay: None,
+            ..Default::default()
+        });
+        let system = build_system(&loaded.scene, &build);
+        let cam = &loaded.cameras[0];
+        let reference = &loaded.references[0];
+
+        let ours = fr.render(&system.fov, cam, None).image;
+        // Mini-Splatting-D emulation: the dense model itself, re-rendered.
+        let msd = renderer.render(&loaded.scene.model, cam).image;
+
+        let display = DisplayGeometry::new(
+            cam.width,
+            cam.height,
+            ms_math::rad_to_deg(cam.fovx()),
+        );
+        let ecc_map = EccentricityMap::centered(display);
+        let hvsq = Hvsq::with_options(
+            ecc_map.clone(),
+            HvsqOptions { stride: 2, ..HvsqOptions::default() },
+        );
+        let q_ours = hvsq.evaluate(reference, &ours, None);
+        let q_msd = hvsq.evaluate(reference, &msd, None);
+        // Detection-threshold anchor. The paper's training "controls for
+        // L_quality so that the HVSQ at all quality levels is the same as
+        // that of L1" — i.e. the L1 model's own HVSQ against the reference
+        // is the quality bar the user study then found subjectively
+        // indistinguishable. We therefore anchor the observer's threshold
+        // at the L1 render's HVSQ (floored by a peripheral-blur JND).
+        let q_l1 = hvsq.evaluate(reference, &renderer.render(&system.l1, cam).image, None);
+        let blur_jnd =
+            hvsq.evaluate(reference, &peripheral_blur(reference, &ecc_map, 6), None);
+        let anchor = q_l1.max(blur_jnd);
+        let mut obs = observer;
+        obs.threshold = anchor;
+        obs.temperature = anchor.max(1e-12);
+
+        let v = simulate_trace(trace.name, q_ours, q_msd, 12, 8, &obs, 1234 + i as u64);
+        rows.push(vec![
+            trace.name.to_string(),
+            format!("{:.2e}", q_ours),
+            format!("{:.2e}", q_msd),
+            format!("{:.2e}", anchor),
+            format!("{:.1} ± {:.1}", v.mean_votes_a, v.std_votes_a),
+            format!("{:.1} ± {:.1}", 8.0 - v.mean_votes_a, v.std_votes_a),
+        ]);
+        votes.push(v);
+    }
+
+    print_table(
+        &["trace", "HVSQ ours", "HVSQ MSD", "anchor(L1)", "votes ours", "votes MSD"],
+        &rows,
+    );
+
+    let (p_two, p_msd_pref) = significance(&votes);
+    let total_ours: u64 = votes.iter().map(|v| v.total_a).sum();
+    let total: u64 = votes.iter().map(|v| v.total).sum();
+    println!("\npooled: ours preferred {total_ours}/{total} times");
+    println!("two-sided binomial test p = {p_two:.4}");
+    // Paper's null hypothesis: "users prefer Mini-Splatting-D more than 50%
+    // of the time" → one-sided test on the MSD count.
+    let p_paper_null = ms_math::stats::binomial_test_at_least(total - total_ours, total);
+    println!("P(MSD >= observed | no preference) = {p_paper_null:.4}");
+    println!("\npaper result: users have no preference or prefer ours (p < 0.01 against");
+    println!("the 'MSD preferred' null). A tie (≈4-vs-4 votes) reproduces that: the");
+    println!("HVS-guided FR is below the observer's detection threshold.");
+    let _ = p_msd_pref;
+}

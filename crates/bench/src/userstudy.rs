@@ -1,0 +1,171 @@
+//! Simulated 2IFC user study (Fig. 11).
+//!
+//! The paper runs a Two-Interval Forced Choice study with 12 participants:
+//! each trace is shown rendered by two methods, eight repetitions each, and
+//! the participant picks the preferred one. A human study cannot be
+//! replicated offline; we substitute the standard psychophysical observer
+//! model: preference follows a Bradley–Terry choice rule driven by the
+//! **HVSQ difference** between the two renders (the same quantity the
+//! paper's training controls), with a lapse rate for attention slips.
+//! This is clearly a simulation — it shows the *pipeline* of the
+//! experiment (votes → binomial test), not new evidence about humans.
+
+use ms_math::stats::{binomial_test_at_least, binomial_test_two_sided};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Observer-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObserverModel {
+    /// Choice temperature: smaller → more deterministic preference for the
+    /// lower-HVSQ render.
+    pub temperature: f32,
+    /// Lapse rate: probability of a random (inattentive) answer.
+    pub lapse: f32,
+    /// Detection threshold: HVSQ below this is imperceptible — a metameric
+    /// render is indistinguishable from the reference, so two sub-threshold
+    /// methods elicit a coin-flip. This is what makes the paper's result
+    /// ("statistically no-worse than Mini-Splatting-D") reachable: the
+    /// HVS-guided training pushes every region below threshold.
+    pub threshold: f32,
+}
+
+impl Default for ObserverModel {
+    fn default() -> Self {
+        Self { temperature: 2.0e-5, lapse: 0.1, threshold: 5.0e-5 }
+    }
+}
+
+impl ObserverModel {
+    /// Probability that the observer prefers method A over method B, given
+    /// their HVSQ scores (lower = closer to the reference). Scores below
+    /// the detection threshold are clamped to it (imperceptible).
+    pub fn p_prefer_a(&self, hvsq_a: f32, hvsq_b: f32) -> f64 {
+        let a = hvsq_a.max(self.threshold);
+        let b = hvsq_b.max(self.threshold);
+        let delta = (b - a) as f64 / self.temperature.max(1e-12) as f64;
+        let p = 1.0 / (1.0 + (-delta).exp());
+        let l = self.lapse as f64;
+        l * 0.5 + (1.0 - l) * p
+    }
+}
+
+/// Result of a simulated study for one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceVotes {
+    /// Trace name.
+    pub trace: String,
+    /// Mean votes (out of `repetitions`) for method A per participant.
+    pub mean_votes_a: f32,
+    /// Standard deviation over participants.
+    pub std_votes_a: f32,
+    /// Total A-preferences across all participants/repetitions.
+    pub total_a: u64,
+    /// Total comparisons.
+    pub total: u64,
+}
+
+/// Simulate a 2IFC block: `participants` observers × `repetitions` per
+/// trace, choosing between renders with the given HVSQ scores.
+pub fn simulate_trace(
+    trace: &str,
+    hvsq_a: f32,
+    hvsq_b: f32,
+    participants: usize,
+    repetitions: usize,
+    observer: &ObserverModel,
+    seed: u64,
+) -> TraceVotes {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21FC);
+    let p = observer.p_prefer_a(hvsq_a, hvsq_b);
+    let mut per_participant = Vec::with_capacity(participants);
+    let mut total_a = 0u64;
+    for _ in 0..participants {
+        let mut a = 0u32;
+        for _ in 0..repetitions {
+            if rng.gen_bool(p) {
+                a += 1;
+            }
+        }
+        total_a += a as u64;
+        per_participant.push(a as f32);
+    }
+    TraceVotes {
+        trace: trace.to_string(),
+        mean_votes_a: ms_math::stats::mean(&per_participant),
+        std_votes_a: ms_math::stats::std_dev(&per_participant),
+        total_a,
+        total: (participants * repetitions) as u64,
+    }
+}
+
+/// Two-sided and one-sided ("A preferred") p-values over pooled votes.
+pub fn significance(votes: &[TraceVotes]) -> (f64, f64) {
+    let a: u64 = votes.iter().map(|v| v.total_a).sum();
+    let n: u64 = votes.iter().map(|v| v.total).sum();
+    (binomial_test_two_sided(a, n), binomial_test_at_least(a, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_follows_hvsq() {
+        let o = ObserverModel::default();
+        // A much better (lower HVSQ) → strongly preferred.
+        assert!(o.p_prefer_a(1.0e-5, 3.0e-4) > 0.9);
+        // Symmetric.
+        let p_ab = o.p_prefer_a(2.0e-5, 4.0e-5);
+        let p_ba = o.p_prefer_a(4.0e-5, 2.0e-5);
+        assert!((p_ab + p_ba - 1.0).abs() < 1e-9);
+        // Equal quality → coin flip.
+        assert!((o.p_prefer_a(2.0e-5, 2.0e-5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lapse_bounds_certainty() {
+        let o = ObserverModel { temperature: 1e-9, lapse: 0.2, ..ObserverModel::default() };
+        let p = o.p_prefer_a(0.0, 1.0);
+        assert!(p <= 0.9 + 1e-9, "lapse caps certainty: {p}");
+    }
+
+    #[test]
+    fn sub_threshold_differences_are_invisible() {
+        let o = ObserverModel::default();
+        // Both methods below the detection threshold → coin flip, even
+        // though A is numerically better.
+        let p = o.p_prefer_a(1.0e-5, 4.0e-5);
+        assert!((p - 0.5).abs() < 1e-9, "sub-threshold must tie: {p}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let o = ObserverModel::default();
+        let a = simulate_trace("room", 1e-5, 2e-5, 12, 8, &o, 7);
+        let b = simulate_trace("room", 1e-5, 2e-5, 12, 8, &o, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.total, 96);
+    }
+
+    #[test]
+    fn clear_winner_reaches_significance() {
+        let o = ObserverModel::default();
+        let votes: Vec<TraceVotes> = (0..4)
+            .map(|i| simulate_trace("t", 1.0e-5, 5.0e-4, 12, 8, &o, i))
+            .collect();
+        let (two_sided, _) = significance(&votes);
+        assert!(two_sided < 0.01, "p = {two_sided}");
+    }
+
+    #[test]
+    fn tie_is_not_significant() {
+        let o = ObserverModel::default();
+        let votes: Vec<TraceVotes> = (0..4)
+            .map(|i| simulate_trace("t", 2.0e-5, 2.0e-5, 12, 8, &o, 100 + i))
+            .collect();
+        let (two_sided, _) = significance(&votes);
+        assert!(two_sided > 0.05, "ties should not be significant: p = {two_sided}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # MetaSapiens
+//!
+//! A from-scratch Rust reproduction of **"MetaSapiens: Real-Time Neural
+//! Rendering with Efficiency-Aware Pruning and Accelerated Foveated
+//! Rendering"** (Lin, Feng, Zhu — ASPLOS 2025).
+//!
+//! This crate is the front door of the workspace: it composes the
+//! substrates into the paper's end-to-end system and re-exports them:
+//!
+//! | Crate | Provides |
+//! |---|---|
+//! | [`math`] (`ms-math`) | vectors, quaternions, SH, conics, stats |
+//! | [`scene`] (`ms-scene`) | Gaussian models, cameras, the 13-trace corpus |
+//! | [`render`] (`ms-render`) | tile-based splatting renderer + workload stats |
+//! | [`hvs`] (`ms-hvs`) | PSNR/SSIM/LPIPS-proxy + eccentricity-aware HVSQ |
+//! | [`train`] (`ms-train`) | CE pruning, scale decay, analytic fine-tuning |
+//! | [`fov`] (`ms-fov`) | subset hierarchy, multi-versioning, FR rendering |
+//! | [`baselines`] (`ms-baselines`) | the seven baseline PBNR families |
+//! | [`gpu`] (`ms-gpu`) | mobile-GPU (Xavier) FPS model |
+//! | [`accel`] (`ms-accel`) | accelerator simulator (TM + IP) |
+//!
+//! The [`pipeline`] module builds the paper's three variants
+//! (MetaSapiens-H/M/L, §6) from a dense scene: efficiency-aware pruning +
+//! scale decay produce the L1 model, then HVS-guided level construction
+//! produces the foveated hierarchy.
+//!
+//! # Example
+//!
+//! ```
+//! use metasapiens::pipeline::{build_system, BuildConfig, Variant};
+//! use metasapiens::scene::dataset::TraceId;
+//!
+//! let scene = TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.004);
+//! let config = BuildConfig::fast_for_tests(Variant::H);
+//! let system = build_system(&scene, &config);
+//! assert!(system.l1.len() < scene.model.len());
+//! assert_eq!(system.fov.level_count(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use ms_accel as accel;
+pub use ms_baselines as baselines;
+pub use ms_fov as fov;
+pub use ms_gpu as gpu;
+pub use ms_hvs as hvs;
+pub use ms_math as math;
+pub use ms_render as render;
+pub use ms_scene as scene;
+pub use ms_train as train;
+
+pub mod eval;
+pub mod pipeline;

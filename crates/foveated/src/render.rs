@@ -1,0 +1,322 @@
+//! The foveated rendering pipeline (Fig. 7-E): Projection → Filtering →
+//! Sorting → Rasterization → Blending.
+
+use crate::model::FoveatedModel;
+use ms_hvs::{DisplayGeometry, EccentricityMap, QualityRegions};
+use ms_math::{rad_to_deg, Vec2};
+use ms_render::{Image, RenderOptions, RenderStats, Renderer};
+use ms_scene::{Camera, GaussianModel};
+
+/// Result of a foveated render.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FovRenderOutput {
+    /// The blended foveated image.
+    pub image: Image,
+    /// Merged workload statistics across levels (per-tile intersections are
+    /// summed element-wise; projection is counted once for subsetting
+    /// models, per-level for multi-model baselines).
+    pub stats: RenderStats,
+    /// Raw per-level statistics.
+    pub per_level_stats: Vec<RenderStats>,
+    /// Dominant quality level per tile (row-major) — the accelerator
+    /// simulator's input alongside the intersection counts.
+    pub tile_level: Vec<u8>,
+    /// Number of pixels rendered twice for boundary blending.
+    pub blended_pixels: usize,
+}
+
+/// How per-level projection cost is accounted in the merged stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProjectionSharing {
+    /// Subsetting (ours/SMFR): projection + filtering run once over the
+    /// base point set (paper §4.2).
+    Shared,
+    /// Multi-model (MMFR): every level projects its own model.
+    PerLevel,
+}
+
+/// Renders [`FoveatedModel`]s (and, internally, multi-model baselines).
+#[derive(Debug, Clone)]
+pub struct FoveatedRenderer {
+    renderer: Renderer,
+}
+
+impl Default for FoveatedRenderer {
+    fn default() -> Self {
+        Self::new(RenderOptions::default())
+    }
+}
+
+impl FoveatedRenderer {
+    /// Create a foveated renderer from base render options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are invalid.
+    pub fn new(options: RenderOptions) -> Self {
+        Self { renderer: Renderer::new(options) }
+    }
+
+    /// The underlying renderer options.
+    pub fn options(&self) -> &RenderOptions {
+        self.renderer.options()
+    }
+
+    /// Render a foveated model. `gaze` is in pixels (`None` = image
+    /// center, the fixation the paper's objective metrics assume).
+    pub fn render(
+        &self,
+        model: &FoveatedModel,
+        camera: &Camera,
+        gaze: Option<Vec2>,
+    ) -> FovRenderOutput {
+        let level_models: Vec<&GaussianModel> =
+            (0..model.level_count()).map(|l| model.level_model(l)).collect();
+        self.render_levels(&level_models, model.regions(), camera, gaze, ProjectionSharing::Shared)
+    }
+
+    /// Render an arbitrary stack of per-level models (used by the SMFR/MMFR
+    /// baselines and exposed through `baselines`).
+    pub(crate) fn render_levels(
+        &self,
+        level_models: &[&GaussianModel],
+        regions: &QualityRegions,
+        camera: &Camera,
+        gaze: Option<Vec2>,
+        sharing: ProjectionSharing,
+    ) -> FovRenderOutput {
+        assert_eq!(
+            level_models.len(),
+            regions.level_count(),
+            "one model per quality region required"
+        );
+        let display = DisplayGeometry::new(camera.width, camera.height, rad_to_deg(camera.fovx()));
+        let gaze = gaze.unwrap_or_else(|| display.center());
+        let ecc = EccentricityMap::new(display, gaze);
+
+        let n_pixels = (camera.width * camera.height) as usize;
+        let levels = regions.level_count();
+        // Per-pixel (level, blend weight toward the next level).
+        let mut pixel_level = vec![0u8; n_pixels];
+        let mut pixel_blend = vec![0.0f32; n_pixels];
+        for (i, &e) in ecc.values().iter().enumerate() {
+            let (l, w) = regions.blend_toward_next(e);
+            pixel_level[i] = l as u8;
+            pixel_blend[i] = w;
+        }
+
+        // Per-level pixel masks: a level renders its own region plus the
+        // blend band of the previous region that leads into it.
+        let mut level_images: Vec<Image> = Vec::with_capacity(levels);
+        let mut per_level_stats: Vec<RenderStats> = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let mask: Vec<bool> = (0..n_pixels)
+                .map(|i| {
+                    let pl = pixel_level[i] as usize;
+                    pl == l || (l >= 1 && pl == l - 1 && pixel_blend[i] > 0.0)
+                })
+                .collect();
+            let out = self.renderer.render_masked(level_models[l], camera, |_| true, &mask);
+            level_images.push(out.image);
+            per_level_stats.push(out.stats);
+        }
+
+        // Blend: pixels in a blend band were rendered by both adjacent
+        // levels; interpolate. Others copy their level's render.
+        let mut image = Image::new(camera.width, camera.height);
+        let mut blended_pixels = 0usize;
+        for y in 0..camera.height {
+            for x in 0..camera.width {
+                let i = (y * camera.width + x) as usize;
+                let l = pixel_level[i] as usize;
+                let w = pixel_blend[i];
+                let c = if w > 0.0 && l + 1 < levels {
+                    blended_pixels += 1;
+                    level_images[l].pixel(x, y).lerp(level_images[l + 1].pixel(x, y), w)
+                } else {
+                    level_images[l].pixel(x, y)
+                };
+                image.set_pixel(x, y, c);
+            }
+        }
+
+        // Merge stats.
+        let grid = per_level_stats[0].grid;
+        let mut tile_intersections = vec![0u32; per_level_stats[0].tile_intersections.len()];
+        let mut blend_steps = 0u64;
+        for s in &per_level_stats {
+            for (acc, &v) in tile_intersections.iter_mut().zip(&s.tile_intersections) {
+                *acc += v;
+            }
+            blend_steps += s.blend_steps;
+        }
+        let total_intersections = tile_intersections.iter().map(|&v| v as u64).sum();
+        let (points_projected, points_submitted) = match sharing {
+            // Subsetting: projection and filtering execute once, over the
+            // base set (= level 0's model).
+            ProjectionSharing::Shared => {
+                (per_level_stats[0].points_projected, per_level_stats[0].points_submitted)
+            }
+            ProjectionSharing::PerLevel => (
+                per_level_stats.iter().map(|s| s.points_projected).sum(),
+                per_level_stats.iter().map(|s| s.points_submitted).sum(),
+            ),
+        };
+
+        // Dominant level per tile (majority of pixels).
+        let ts = grid.tile_size;
+        let mut tile_level = vec![0u8; grid.tile_count()];
+        for ty in 0..grid.tiles_y {
+            for tx in 0..grid.tiles_x {
+                let mut counts = vec![0u32; levels];
+                let x_end = ((tx + 1) * ts).min(camera.width);
+                let y_end = ((ty + 1) * ts).min(camera.height);
+                for y in (ty * ts)..y_end {
+                    for x in (tx * ts)..x_end {
+                        counts[pixel_level[(y * camera.width + x) as usize] as usize] += 1;
+                    }
+                }
+                let dominant = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, c)| *c)
+                    .map(|(l, _)| l as u8)
+                    .unwrap_or(0);
+                tile_level[(ty * grid.tiles_x + tx) as usize] = dominant;
+            }
+        }
+
+        FovRenderOutput {
+            image,
+            stats: RenderStats {
+                grid,
+                tile_intersections,
+                points_projected,
+                points_submitted,
+                total_intersections,
+                blend_steps,
+                point_tiles_used: Vec::new(),
+                point_pixels_dominated: Vec::new(),
+            },
+            per_level_stats,
+            tile_level,
+            blended_pixels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_foveated, FrBuildConfig};
+    use ms_scene::dataset::TraceId;
+
+    /// Render options with 8-px tiles: at test resolutions the default
+    /// 16-px tiles are so coarse that nearly every tile straddles a region
+    /// boundary, which double-counts cross-level work the real (high-res)
+    /// configuration doesn't pay.
+    fn fr_opts() -> RenderOptions {
+        RenderOptions { tile_size: 8, ..RenderOptions::default() }
+    }
+
+    fn setup() -> (FoveatedModel, Vec<Camera>, Vec<Image>) {
+        let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.006);
+        let cameras: Vec<Camera> = scene
+            .train_cameras
+            .iter()
+            .step_by(10)
+            .take(2)
+            // Wide VR-like FOV (fovx ≈ 88°): with a narrow camera most of
+            // the image is foveal and FR has nothing to relax.
+            .map(|c| Camera { width: 128, height: 96, fovy: ms_math::deg_to_rad(74.0), ..*c })
+            .collect();
+        let renderer = Renderer::new(fr_opts());
+        let references: Vec<Image> =
+            cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
+        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let fr = build_foveated(&scene.model, &cameras, &references, &config);
+        (fr, cameras, references)
+    }
+
+    #[test]
+    fn foveated_render_produces_full_image() {
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        assert_eq!(out.image.width(), 128);
+        assert_eq!(out.per_level_stats.len(), 4);
+        assert_eq!(out.tile_level.len(), out.stats.grid.tile_count());
+    }
+
+    #[test]
+    fn foveated_render_cheaper_than_dense() {
+        let (fr, cameras, _) = setup();
+        let fov = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        let dense = Renderer::new(fr_opts()).render(fr.base(), &cameras[0]);
+        assert!(
+            fov.stats.total_intersections < dense.stats.total_intersections,
+            "FR intersections {} should undercut dense {}",
+            fov.stats.total_intersections,
+            dense.stats.total_intersections
+        );
+    }
+
+    #[test]
+    fn foveal_region_matches_l1_render() {
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        let dense = Renderer::new(fr_opts()).render(fr.level_model(0), &cameras[0]);
+        // Center pixel is deep inside R1 (no blending): exact L1 color.
+        let c = out.image.pixel(64, 48);
+        let d = dense.image.pixel(64, 48);
+        assert!((c - d).length() < 1e-6, "foveal pixel differs: {c} vs {d}");
+    }
+
+    #[test]
+    fn workload_concentrates_at_gaze() {
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        let grid = out.stats.grid;
+        // Compare the center tile against the corner tile.
+        let center_idx = ((grid.tiles_y / 2) * grid.tiles_x + grid.tiles_x / 2) as usize;
+        let corner_idx = 0usize;
+        let center = out.stats.tile_intersections[center_idx];
+        let corner = out.stats.tile_intersections[corner_idx];
+        assert!(
+            center > corner,
+            "center tile ({center}) should out-work corner tile ({corner})"
+        );
+    }
+
+    #[test]
+    fn gaze_shift_moves_high_quality_region() {
+        let (fr, cameras, _) = setup();
+        let r = FoveatedRenderer::new(fr_opts());
+        let left = r.render(&fr, &cameras[0], Some(Vec2::new(12.0, 48.0)));
+        // Tile level at the left edge should be 0 when gazing left.
+        let grid = left.stats.grid;
+        let left_tile = (grid.tiles_y / 2 * grid.tiles_x) as usize;
+        assert_eq!(left.tile_level[left_tile], 0);
+        // And the right edge should be peripheral.
+        let right_tile = (grid.tiles_y / 2 * grid.tiles_x + grid.tiles_x - 1) as usize;
+        assert!(left.tile_level[right_tile] >= 2);
+    }
+
+    #[test]
+    fn blending_touches_boundary_pixels_only() {
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        let n = (128 * 96) as usize;
+        assert!(out.blended_pixels > 0, "some pixels must blend");
+        assert!(out.blended_pixels < n / 2, "blending should be a minority of pixels");
+    }
+
+    #[test]
+    fn merged_projection_counts_base_once() {
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        assert_eq!(out.stats.points_submitted, fr.base().len());
+        // Per-level projected sums exceed the shared count (subsetting wins).
+        let sum: usize = out.per_level_stats.iter().map(|s| s.points_projected).sum();
+        assert!(sum >= out.stats.points_projected);
+    }
+}

@@ -1,0 +1,204 @@
+//! Feature maps and integral images for pooled statistics.
+//!
+//! HVSQ computes mean and standard deviation of image *features* (not raw
+//! pixels) over spatial pools — emulating "the feature extraction in human's
+//! early visual processing" (paper §2.2). We use three early-vision feature
+//! channels: luminance and the two gradient components' magnitudes.
+//! Integral images (summed-area tables) make per-pixel pooled statistics
+//! O(1) regardless of pool size.
+
+use ms_render::Image;
+
+/// A summed-area table over an `f32` map, with a companion table of squares
+/// so windowed mean and variance are O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// (width+1) × (height+1) prefix sums.
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Build from a row-major map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != width * height` or a dimension is zero.
+    pub fn new(values: &[f32], width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        assert_eq!(values.len(), width * height);
+        let stride = width + 1;
+        let mut sum = vec![0.0f64; stride * (height + 1)];
+        let mut sum_sq = vec![0.0f64; stride * (height + 1)];
+        for y in 0..height {
+            let mut row = 0.0f64;
+            let mut row_sq = 0.0f64;
+            for x in 0..width {
+                let v = values[y * width + x] as f64;
+                row += v;
+                row_sq += v * v;
+                sum[(y + 1) * stride + x + 1] = sum[y * stride + x + 1] + row;
+                sum_sq[(y + 1) * stride + x + 1] = sum_sq[y * stride + x + 1] + row_sq;
+            }
+        }
+        Self { width, height, sum, sum_sq }
+    }
+
+    /// Mean and standard deviation over the clamped window
+    /// `[x0, x1) × [y0, y1)`.
+    ///
+    /// Windows are clamped to the image; an empty window yields `(0, 0)`.
+    pub fn window_stats(&self, x0: i64, y0: i64, x1: i64, y1: i64) -> (f32, f32) {
+        let x0 = x0.clamp(0, self.width as i64) as usize;
+        let y0 = y0.clamp(0, self.height as i64) as usize;
+        let x1 = x1.clamp(0, self.width as i64) as usize;
+        let y1 = y1.clamp(0, self.height as i64) as usize;
+        if x1 <= x0 || y1 <= y0 {
+            return (0.0, 0.0);
+        }
+        let stride = self.width + 1;
+        let pick = |t: &[f64]| {
+            t[y1 * stride + x1] - t[y0 * stride + x1] - t[y1 * stride + x0] + t[y0 * stride + x0]
+        };
+        let n = ((x1 - x0) * (y1 - y0)) as f64;
+        let s = pick(&self.sum);
+        let ss = pick(&self.sum_sq);
+        let mean = s / n;
+        let var = (ss / n - mean * mean).max(0.0);
+        (mean as f32, var.sqrt() as f32)
+    }
+}
+
+/// The early-vision feature channels of an image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMaps {
+    /// Number of feature channels.
+    pub channels: usize,
+    /// Integral image per channel.
+    pub integrals: Vec<IntegralImage>,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl FeatureMaps {
+    /// Extract features from an image: luminance, |∂x|, |∂y|.
+    pub fn extract(image: &Image) -> Self {
+        let w = image.width() as usize;
+        let h = image.height() as usize;
+        let lum = image.luminance();
+        let mut gx = vec![0.0f32; w * h];
+        let mut gy = vec![0.0f32; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let xm = x.saturating_sub(1);
+                let xp = (x + 1).min(w - 1);
+                let ym = y.saturating_sub(1);
+                let yp = (y + 1).min(h - 1);
+                gx[y * w + x] = (0.5 * (lum[y * w + xp] - lum[y * w + xm])).abs();
+                gy[y * w + x] = (0.5 * (lum[yp * w + x] - lum[ym * w + x])).abs();
+            }
+        }
+        let integrals = vec![
+            IntegralImage::new(&lum, w, h),
+            IntegralImage::new(&gx, w, h),
+            IntegralImage::new(&gy, w, h),
+        ];
+        Self { channels: integrals.len(), integrals, width: w, height: h }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::Vec3;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_stats_on_constant_map() {
+        let v = vec![2.0f32; 12];
+        let ii = IntegralImage::new(&v, 4, 3);
+        let (m, s) = ii.window_stats(0, 0, 4, 3);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!(s < 1e-6);
+    }
+
+    #[test]
+    fn window_stats_small_window() {
+        let v: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let ii = IntegralImage::new(&v, 4, 4);
+        // Window covering values 5 and 6 (row 1, cols 1..3).
+        let (m, s) = ii.window_stats(1, 1, 3, 2);
+        assert!((m - 5.5).abs() < 1e-6);
+        assert!((s - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_clamps_to_image() {
+        let v = vec![1.0f32; 9];
+        let ii = IntegralImage::new(&v, 3, 3);
+        let (m, _) = ii.window_stats(-10, -10, 100, 100);
+        assert!((m - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let v = vec![1.0f32; 9];
+        let ii = IntegralImage::new(&v, 3, 3);
+        assert_eq!(ii.window_stats(2, 2, 2, 2), (0.0, 0.0));
+        assert_eq!(ii.window_stats(5, 0, 9, 1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn features_flat_image_has_no_gradients() {
+        let img = ms_render::Image::filled(16, 16, Vec3::splat(0.5));
+        let f = FeatureMaps::extract(&img);
+        assert_eq!(f.channels, 3);
+        let (gx_mean, _) = f.integrals[1].window_stats(0, 0, 16, 16);
+        let (gy_mean, _) = f.integrals[2].window_stats(0, 0, 16, 16);
+        assert!(gx_mean < 1e-6 && gy_mean < 1e-6);
+    }
+
+    #[test]
+    fn features_detect_vertical_edge() {
+        let mut img = ms_render::Image::new(16, 16);
+        for y in 0..16 {
+            for x in 8..16 {
+                img.set_pixel(x, y, Vec3::one());
+            }
+        }
+        let f = FeatureMaps::extract(&img);
+        let (gx_mean, _) = f.integrals[1].window_stats(0, 0, 16, 16);
+        let (gy_mean, _) = f.integrals[2].window_stats(0, 0, 16, 16);
+        assert!(gx_mean > gy_mean * 5.0, "gx {gx_mean} gy {gy_mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn window_stats_match_naive(
+            vals in proptest::collection::vec(0.0f32..1.0, 36),
+            x0 in 0i64..6, y0 in 0i64..6, dx in 1i64..6, dy in 1i64..6,
+        ) {
+            let ii = IntegralImage::new(&vals, 6, 6);
+            let (m, s) = ii.window_stats(x0, y0, x0 + dx, y0 + dy);
+            // Naive computation over the clamped window.
+            let x1 = (x0 + dx).min(6) as usize;
+            let y1 = (y0 + dy).min(6) as usize;
+            let (x0, y0) = (x0 as usize, y0 as usize);
+            prop_assume!(x1 > x0 && y1 > y0);
+            let mut xs = Vec::new();
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    xs.push(vals[y * 6 + x]);
+                }
+            }
+            let naive_m = xs.iter().sum::<f32>() / xs.len() as f32;
+            let naive_v = xs.iter().map(|v| (v - naive_m).powi(2)).sum::<f32>() / xs.len() as f32;
+            prop_assert!((m - naive_m).abs() < 1e-4);
+            prop_assert!((s - naive_v.sqrt()).abs() < 1e-3);
+        }
+    }
+}

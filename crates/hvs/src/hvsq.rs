@@ -1,0 +1,293 @@
+//! The HVSQ metric (paper Eqn. 2).
+//!
+//! Given a reference image, an altered image, and the eccentricity of every
+//! pixel, HVSQ measures how discriminable the two images are to a human:
+//!
+//! ```text
+//! HVSQ = 1/N Σᵢ [ ‖M(Iᵃᵢ) − M(Iʳᵢ)‖² + ‖σ(Iᵃᵢ) − σ(Iʳᵢ)‖² ]
+//! ```
+//!
+//! where `Iᵢ` is the *spatial pooling* of pixel `i` — a window whose size
+//! grows (quadratically) with eccentricity — and `M`/`σ` are the mean and
+//! standard deviation of early-vision features inside the pool. A lower
+//! HVSQ means the altered image is harder to tell apart from the reference.
+
+use crate::eccentricity::EccentricityMap;
+use crate::features::FeatureMaps;
+use ms_render::Image;
+use serde::{Deserialize, Serialize};
+
+/// Pooling-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HvsqOptions {
+    /// Minimum pool diameter in degrees (foveal pooling is not a point).
+    pub min_pool_deg: f32,
+    /// Linear growth of pool diameter per degree of eccentricity
+    /// (Bouma's-law-like crowding term).
+    pub linear_rate: f32,
+    /// Quadratic growth term per degree² — "the pooling size increases with
+    /// eccentricity, usually quadratically" (paper §2.2).
+    pub quadratic_rate: f32,
+    /// Largest allowed pool diameter in degrees (keeps pools bounded at the
+    /// far periphery).
+    pub max_pool_deg: f32,
+    /// Evaluate statistics on a subsampled pixel grid with this stride
+    /// (1 = every pixel). HVSQ is an average over pools; a stride > 1 is an
+    /// unbiased speedup used during iterative training.
+    pub stride: u32,
+}
+
+impl Default for HvsqOptions {
+    fn default() -> Self {
+        Self {
+            min_pool_deg: 0.5,
+            linear_rate: 0.30,
+            quadratic_rate: 0.010,
+            max_pool_deg: 12.0,
+            stride: 1,
+        }
+    }
+}
+
+impl HvsqOptions {
+    /// Pool diameter in degrees at a given eccentricity.
+    pub fn pool_diameter_deg(&self, ecc_deg: f32) -> f32 {
+        (self.min_pool_deg + self.linear_rate * ecc_deg + self.quadratic_rate * ecc_deg * ecc_deg)
+            .min(self.max_pool_deg)
+    }
+}
+
+/// HVSQ evaluator bound to a display/gaze geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hvsq {
+    ecc: EccentricityMap,
+    options: HvsqOptions,
+}
+
+impl Hvsq {
+    /// Evaluator with the gaze at the display center and default pooling.
+    pub fn new(display: crate::DisplayGeometry) -> Self {
+        Self::with_options(EccentricityMap::centered(display), HvsqOptions::default())
+    }
+
+    /// Evaluator with an explicit eccentricity map and pooling options.
+    pub fn with_options(ecc: EccentricityMap, options: HvsqOptions) -> Self {
+        Self { ecc, options }
+    }
+
+    /// The eccentricity map in use.
+    pub fn eccentricity(&self) -> &EccentricityMap {
+        &self.ecc
+    }
+
+    /// The pooling options in use.
+    pub fn options(&self) -> &HvsqOptions {
+        &self.options
+    }
+
+    /// Evaluate HVSQ of `altered` against `reference`.
+    ///
+    /// `band` optionally restricts the average to pixels whose eccentricity
+    /// lies in `[band.0, band.1)` degrees — the per-quality-region HVSQ used
+    /// to control each foveation level during training (paper §4.3). Returns
+    /// 0 when no pixel falls in the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the images' dimensions differ from each other or from
+    /// the display geometry.
+    pub fn evaluate(&self, reference: &Image, altered: &Image, band: Option<(f32, f32)>) -> f32 {
+        let d = self.ecc.display();
+        assert_eq!((reference.width(), reference.height()), (d.width, d.height));
+        assert_eq!((altered.width(), altered.height()), (d.width, d.height));
+        let fr = FeatureMaps::extract(reference);
+        let fa = FeatureMaps::extract(altered);
+        let ppd = d.pixels_per_degree();
+        let stride = self.options.stride.max(1);
+
+        let mut acc = 0.0f64;
+        let mut count = 0usize;
+        for y in (0..d.height).step_by(stride as usize) {
+            for x in (0..d.width).step_by(stride as usize) {
+                let ecc = self.ecc.at(x, y);
+                if let Some((lo, hi)) = band {
+                    if ecc < lo || ecc >= hi {
+                        continue;
+                    }
+                }
+                let radius_px =
+                    ((self.options.pool_diameter_deg(ecc) * ppd * 0.5).round() as i64).max(1);
+                let (x, y) = (x as i64, y as i64);
+                let mut pixel_term = 0.0f64;
+                for c in 0..fr.channels {
+                    let (mr, sr) = fr.integrals[c].window_stats(
+                        x - radius_px,
+                        y - radius_px,
+                        x + radius_px + 1,
+                        y + radius_px + 1,
+                    );
+                    let (ma, sa) = fa.integrals[c].window_stats(
+                        x - radius_px,
+                        y - radius_px,
+                        x + radius_px + 1,
+                        y + radius_px + 1,
+                    );
+                    pixel_term += ((ma - mr) as f64).powi(2) + ((sa - sr) as f64).powi(2);
+                }
+                acc += pixel_term;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (acc / count as f64) as f32
+        }
+    }
+
+    /// HVSQ per quality region, given region boundaries in degrees. The
+    /// last region extends to infinity.
+    pub fn evaluate_regions(
+        &self,
+        reference: &Image,
+        altered: &Image,
+        boundaries_deg: &[f32],
+    ) -> Vec<f32> {
+        let mut out = Vec::with_capacity(boundaries_deg.len());
+        for (i, &lo) in boundaries_deg.iter().enumerate() {
+            let hi = boundaries_deg.get(i + 1).copied().unwrap_or(f32::INFINITY);
+            out.push(self.evaluate(reference, altered, Some((lo, hi))));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DisplayGeometry;
+    use ms_math::Vec3;
+    use rand::{Rng, SeedableRng};
+
+    fn display() -> DisplayGeometry {
+        DisplayGeometry::new(160, 120, 88.0)
+    }
+
+    fn textured(seed: u64) -> Image {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut img = Image::new(160, 120);
+        for y in 0..120 {
+            for x in 0..160 {
+                let v = 0.5
+                    + 0.25 * ((x as f32 * 0.4).sin() + (y as f32 * 0.3).cos())
+                    + rng.gen_range(-0.05..0.05f32);
+                img.set_pixel(x, y, Vec3::splat(v.clamp(0.0, 1.0)));
+            }
+        }
+        img
+    }
+
+    /// Add uniform noise inside a pixel-space disk around `center`.
+    fn perturb_disk(img: &Image, center: (u32, u32), radius: f32, seed: u64) -> Image {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out = img.clone();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let dx = x as f32 - center.0 as f32;
+                let dy = y as f32 - center.1 as f32;
+                if (dx * dx + dy * dy).sqrt() < radius {
+                    let p = img.pixel(x, y);
+                    let n: f32 = rng.gen_range(-0.3..0.3);
+                    out.set_pixel(x, y, (p + Vec3::splat(n)).max(Vec3::zero()).min(Vec3::one()));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identical_images_score_zero() {
+        let img = textured(1);
+        let h = Hvsq::new(display());
+        assert_eq!(h.evaluate(&img, &img, None), 0.0);
+    }
+
+    #[test]
+    fn pool_diameter_grows_quadratically() {
+        let o = HvsqOptions::default();
+        let d0 = o.pool_diameter_deg(0.0);
+        let d10 = o.pool_diameter_deg(10.0);
+        let d20 = o.pool_diameter_deg(20.0);
+        assert!(d10 > d0);
+        // Quadratic term: increments grow.
+        assert!(d20 - d10 > d10 - d0);
+        // Cap applies.
+        assert_eq!(o.pool_diameter_deg(1000.0), o.max_pool_deg);
+    }
+
+    #[test]
+    fn foveal_perturbation_scores_worse_than_peripheral() {
+        // The same disturbance is more visible (higher HVSQ) under the gaze
+        // than in the periphery — the core property the metric must have.
+        let reference = textured(2);
+        let h = Hvsq::new(display());
+        let foveal = perturb_disk(&reference, (80, 60), 12.0, 3);
+        let peripheral = perturb_disk(&reference, (10, 10), 12.0, 3);
+        let q_fov = h.evaluate(&reference, &foveal, None);
+        let q_per = h.evaluate(&reference, &peripheral, None);
+        assert!(
+            q_fov > q_per * 1.5,
+            "foveal {q_fov} should exceed peripheral {q_per}"
+        );
+    }
+
+    #[test]
+    fn stronger_perturbation_scores_worse() {
+        let reference = textured(4);
+        let h = Hvsq::new(display());
+        let mild = perturb_disk(&reference, (80, 60), 8.0, 5);
+        let strong = perturb_disk(&reference, (80, 60), 25.0, 5);
+        assert!(h.evaluate(&reference, &strong, None) > h.evaluate(&reference, &mild, None));
+    }
+
+    #[test]
+    fn band_restriction_isolates_regions() {
+        let reference = textured(6);
+        let h = Hvsq::new(display());
+        // Perturb only the periphery.
+        let altered = perturb_disk(&reference, (5, 5), 15.0, 7);
+        let foveal_band = h.evaluate(&reference, &altered, Some((0.0, 10.0)));
+        let periph_band = h.evaluate(&reference, &altered, Some((25.0, f32::INFINITY)));
+        assert!(periph_band > foveal_band * 2.0, "{periph_band} vs {foveal_band}");
+    }
+
+    #[test]
+    fn evaluate_regions_covers_all_levels() {
+        let reference = textured(8);
+        let altered = perturb_disk(&reference, (80, 60), 30.0, 9);
+        let h = Hvsq::new(display());
+        let per_region = h.evaluate_regions(&reference, &altered, &[0.0, 18.0, 27.0, 33.0]);
+        assert_eq!(per_region.len(), 4);
+        assert!(per_region[0] > 0.0);
+    }
+
+    #[test]
+    fn empty_band_scores_zero() {
+        let img = textured(10);
+        let h = Hvsq::new(display());
+        assert_eq!(h.evaluate(&img, &img, Some((500.0, 600.0))), 0.0);
+    }
+
+    #[test]
+    fn stride_approximates_full_evaluation() {
+        let reference = textured(11);
+        let altered = perturb_disk(&reference, (80, 60), 30.0, 12);
+        let full = Hvsq::new(display()).evaluate(&reference, &altered, None);
+        let strided = Hvsq::with_options(
+            EccentricityMap::centered(display()),
+            HvsqOptions { stride: 3, ..HvsqOptions::default() },
+        )
+        .evaluate(&reference, &altered, None);
+        assert!((full - strided).abs() / full < 0.25, "full {full} vs strided {strided}");
+    }
+}

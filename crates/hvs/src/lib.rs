@@ -1,0 +1,39 @@
+//! Human-visual-system quality metrics for MetaSapiens.
+//!
+//! Provides the two families of metrics the paper uses:
+//!
+//! * **Objective metrics** reported for the gaze region and in Fig. 13:
+//!   [`psnr`], [`ssim`], and [`lpips_proxy`] (a pretrained-network-free
+//!   stand-in for LPIPS; see module docs for the substitution argument).
+//! * **Eccentricity-aware HVSQ** (paper Eqn. 2, after Walton et al. and
+//!   Freeman & Simoncelli): feature-statistics matching over spatial pools
+//!   whose size grows with retinal eccentricity. [`Hvsq`] evaluates the full
+//!   image or any eccentricity band, which is how HVS-guided training
+//!   controls per-level quality (paper §4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use ms_render::Image;
+//! use ms_hvs::{psnr, DisplayGeometry, Hvsq};
+//!
+//! let a = Image::filled(64, 48, ms_math::Vec3::splat(0.5));
+//! let b = Image::filled(64, 48, ms_math::Vec3::splat(0.5));
+//! assert!(psnr(&a, &b).is_infinite());
+//!
+//! let hvsq = Hvsq::new(DisplayGeometry::new(64, 48, 88.0));
+//! let q = hvsq.evaluate(&a, &b, None);
+//! assert_eq!(q, 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod eccentricity;
+mod features;
+mod hvsq;
+mod objective;
+
+pub use eccentricity::{DisplayGeometry, EccentricityMap, QualityRegions};
+pub use features::{FeatureMaps, IntegralImage};
+pub use hvsq::{Hvsq, HvsqOptions};
+pub use objective::{lpips_proxy, psnr, ssim};

@@ -1,0 +1,256 @@
+//! Objective image-quality metrics: PSNR, SSIM, and an LPIPS proxy.
+
+use ms_render::Image;
+
+/// Peak Signal-to-Noise Ratio in dB (peak = 1.0). Returns `f32::INFINITY`
+/// for identical images.
+///
+/// # Panics
+///
+/// Panics on image dimension mismatch.
+pub fn psnr(a: &Image, b: &Image) -> f32 {
+    let mse = a.mse(b);
+    if mse <= 0.0 {
+        f32::INFINITY
+    } else {
+        -10.0 * mse.log10()
+    }
+}
+
+/// Downsample a luminance map by 2× (box filter).
+fn downsample(lum: &[f32], w: usize, h: usize) -> (Vec<f32>, usize, usize) {
+    let nw = (w / 2).max(1);
+    let nh = (h / 2).max(1);
+    let mut out = vec![0.0f32; nw * nh];
+    for y in 0..nh {
+        for x in 0..nw {
+            let x0 = (x * 2).min(w - 1);
+            let y0 = (y * 2).min(h - 1);
+            let x1 = (x * 2 + 1).min(w - 1);
+            let y1 = (y * 2 + 1).min(h - 1);
+            out[y * nw + x] =
+                0.25 * (lum[y0 * w + x0] + lum[y0 * w + x1] + lum[y1 * w + x0] + lum[y1 * w + x1]);
+        }
+    }
+    (out, nw, nh)
+}
+
+/// Horizontal+vertical gradient magnitude (central differences, clamped
+/// borders).
+fn gradient_magnitude(lum: &[f32], w: usize, h: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let xm = x.saturating_sub(1);
+            let xp = (x + 1).min(w - 1);
+            let ym = y.saturating_sub(1);
+            let yp = (y + 1).min(h - 1);
+            let dx = 0.5 * (lum[y * w + xp] - lum[y * w + xm]);
+            let dy = 0.5 * (lum[yp * w + x] - lum[ym * w + x]);
+            out[y * w + x] = (dx * dx + dy * dy).sqrt();
+        }
+    }
+    out
+}
+
+/// Structural Similarity Index on luminance, 8×8 uniform windows with
+/// stride 4 (a standard fast-SSIM configuration). Returns a value in
+/// `(-1, 1]`, where 1 means identical.
+///
+/// # Panics
+///
+/// Panics on image dimension mismatch.
+pub fn ssim(a: &Image, b: &Image) -> f32 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+    let (w, h) = (a.width() as usize, a.height() as usize);
+    let la = a.luminance();
+    let lb = b.luminance();
+    const C1: f32 = 0.01 * 0.01;
+    const C2: f32 = 0.03 * 0.03;
+    const WIN: usize = 8;
+    const STRIDE: usize = 4;
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    while y + WIN <= h.max(WIN) {
+        let mut x = 0;
+        while x + WIN <= w.max(WIN) {
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0f32, 0.0, 0.0, 0.0, 0.0);
+            let mut n = 0.0f32;
+            for dy in 0..WIN.min(h) {
+                for dx in 0..WIN.min(w) {
+                    let ya = (y + dy).min(h - 1);
+                    let xa = (x + dx).min(w - 1);
+                    let va = la[ya * w + xa];
+                    let vb = lb[ya * w + xa];
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                    n += 1.0;
+                }
+            }
+            let ma = sa / n;
+            let mb = sb / n;
+            let va = (saa / n - ma * ma).max(0.0);
+            let vb = (sbb / n - mb * mb).max(0.0);
+            let cov = sab / n - ma * mb;
+            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            acc += s as f64;
+            count += 1;
+            x += STRIDE;
+        }
+        y += STRIDE;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (acc / count as f64) as f32
+    }
+}
+
+/// LPIPS proxy: a multi-scale perceptual distance without a pretrained
+/// network (lower = more similar; 0 for identical images).
+///
+/// LPIPS compares deep-feature activations across scales. Offline we cannot
+/// ship VGG weights, so this proxy compares hand-crafted "early-vision"
+/// features — local luminance and gradient energy — across a 3-level
+/// pyramid. It preserves LPIPS's orderings for the controlled degradations
+/// in this repo (blur, splat dropout, color shift) which is what Fig. 13
+/// needs; absolute values are not comparable to LPIPS.
+///
+/// # Panics
+///
+/// Panics on image dimension mismatch.
+pub fn lpips_proxy(a: &Image, b: &Image) -> f32 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+    let (mut w, mut h) = (a.width() as usize, a.height() as usize);
+    let mut la = a.luminance();
+    let mut lb = b.luminance();
+    let mut total = 0.0f32;
+    let scales = 3;
+    for s in 0..scales {
+        let ga = gradient_magnitude(&la, w, h);
+        let gb = gradient_magnitude(&lb, w, h);
+        let mut lum_diff = 0.0f64;
+        let mut grad_diff = 0.0f64;
+        for i in 0..w * h {
+            lum_diff += ((la[i] - lb[i]).powi(2)) as f64;
+            grad_diff += ((ga[i] - gb[i]).powi(2)) as f64;
+        }
+        let n = (w * h) as f64;
+        // Gradient differences weigh more: LPIPS is texture-sensitive.
+        total += ((lum_diff / n) as f32) * 0.5 + ((grad_diff / n) as f32) * 2.0;
+        if s + 1 < scales {
+            let (da, nw, nh) = downsample(&la, w, h);
+            let (db, _, _) = downsample(&lb, w, h);
+            la = da;
+            lb = db;
+            w = nw;
+            h = nh;
+        }
+    }
+    total / scales as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::Vec3;
+    use rand::{Rng, SeedableRng};
+
+    fn noise_image(w: u32, h: u32, seed: u64, amplitude: f32) -> Image {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let base = 0.5 + 0.3 * ((x as f32 * 0.3).sin() * (y as f32 * 0.2).cos());
+                let n = rng.gen_range(-amplitude..=amplitude);
+                img.set_pixel(x, y, Vec3::splat((base + n).clamp(0.0, 1.0)));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = noise_image(32, 32, 1, 0.0);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        let a = Image::filled(16, 16, Vec3::zero());
+        let b = Image::filled(16, 16, Vec3::splat(0.1));
+        // MSE = 0.01 → PSNR = 20 dB.
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let clean = noise_image(64, 64, 1, 0.0);
+        let slightly = noise_image(64, 64, 1, 0.02);
+        let very = noise_image(64, 64, 1, 0.2);
+        assert!(psnr(&clean, &slightly) > psnr(&clean, &very));
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let img = noise_image(64, 64, 2, 0.1);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ssim_orders_degradations() {
+        let clean = noise_image(64, 64, 3, 0.0);
+        let mild = noise_image(64, 64, 3, 0.05);
+        let strong = noise_image(64, 64, 3, 0.3);
+        let s_mild = ssim(&clean, &mild);
+        let s_strong = ssim(&clean, &strong);
+        assert!(s_mild > s_strong, "{s_mild} vs {s_strong}");
+        assert!(s_mild < 1.0);
+    }
+
+    #[test]
+    fn lpips_proxy_identical_is_zero() {
+        let img = noise_image(64, 64, 4, 0.1);
+        assert_eq!(lpips_proxy(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn lpips_proxy_orders_degradations() {
+        let clean = noise_image(64, 64, 5, 0.0);
+        let mild = noise_image(64, 64, 5, 0.05);
+        let strong = noise_image(64, 64, 5, 0.3);
+        assert!(lpips_proxy(&clean, &mild) < lpips_proxy(&clean, &strong));
+    }
+
+    #[test]
+    fn lpips_proxy_penalizes_texture_loss() {
+        // Blurring (loss of gradient energy) must register even when mean
+        // luminance is preserved.
+        let clean = noise_image(64, 64, 6, 0.2);
+        let blurred = {
+            let mut img = Image::new(64, 64);
+            for y in 0..64u32 {
+                for x in 0..64u32 {
+                    let mut acc = Vec3::zero();
+                    let mut n = 0.0;
+                    for dy in -2i32..=2 {
+                        for dx in -2i32..=2 {
+                            let xx = (x as i32 + dx).clamp(0, 63) as u32;
+                            let yy = (y as i32 + dy).clamp(0, 63) as u32;
+                            acc += clean.pixel(xx, yy);
+                            n += 1.0;
+                        }
+                    }
+                    img.set_pixel(x, y, acc / n);
+                }
+            }
+            img
+        };
+        assert!(lpips_proxy(&clean, &blurred) > 1e-4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sorting stage: per-tile splat lists ordered front-to-back.
+
+use crate::projection::ProjectedSplat;
+use crate::stats::TileGridDims;
+
+/// Per-tile splat index lists, depth-sorted front-to-back.
+///
+/// Indices refer into the `Vec<ProjectedSplat>` the bins were built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileBins {
+    grid: TileGridDims,
+    bins: Vec<Vec<u32>>,
+}
+
+impl TileBins {
+    /// Duplicate each splat into every tile its bounding rectangle overlaps
+    /// and sort each tile's list front-to-back by depth.
+    pub fn build(splats: &[ProjectedSplat], grid: TileGridDims) -> Self {
+        Self::build_filtered(splats, grid, |_, _| true)
+    }
+
+    /// [`TileBins::build`] restricted to tiles where `tile_active(tx, ty)`
+    /// holds. Splat duplications into inactive tiles are skipped entirely —
+    /// this is the foveation Filtering stage: a quality level only pays for
+    /// the tiles inside its region (plus blend bands).
+    pub fn build_filtered<F: FnMut(u32, u32) -> bool>(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
+        mut tile_active: F,
+    ) -> Self {
+        let active: Vec<bool> = (0..grid.tiles_y)
+            .flat_map(|ty| (0..grid.tiles_x).map(move |tx| (tx, ty)))
+            .map(|(tx, ty)| tile_active(tx, ty))
+            .collect();
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); grid.tile_count()];
+        for (si, splat) in splats.iter().enumerate() {
+            for (tx, ty) in splat.tiles.iter() {
+                let idx = (ty * grid.tiles_x + tx) as usize;
+                if active[idx] {
+                    bins[idx].push(si as u32);
+                }
+            }
+        }
+        for bin in &mut bins {
+            bin.sort_by(|&a, &b| {
+                splats[a as usize]
+                    .depth
+                    .partial_cmp(&splats[b as usize].depth)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        Self { grid, bins }
+    }
+
+    /// Tile-grid geometry.
+    pub fn grid(&self) -> TileGridDims {
+        self.grid
+    }
+
+    /// Depth-sorted splat indices for tile `(tx, ty)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tile coordinate is out of the grid.
+    pub fn tile(&self, tx: u32, ty: u32) -> &[u32] {
+        assert!(tx < self.grid.tiles_x && ty < self.grid.tiles_y, "tile out of grid");
+        &self.bins[(ty * self.grid.tiles_x + tx) as usize]
+    }
+
+    /// Intersection count per tile (row-major).
+    pub fn intersection_counts(&self) -> Vec<u32> {
+        self.bins.iter().map(|b| b.len() as u32).collect()
+    }
+
+    /// Total tile-ellipse intersections.
+    pub fn total_intersections(&self) -> u64 {
+        self.bins.iter().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::RenderOptions;
+    use crate::projection::project_model;
+    use ms_math::{Quat, Vec3};
+    use ms_scene::{Camera, GaussianModel};
+
+    fn grid() -> TileGridDims {
+        TileGridDims { tiles_x: 8, tiles_y: 8, tile_size: 16 }
+    }
+
+    fn scene() -> (GaussianModel, Camera) {
+        let mut m = GaussianModel::new(0);
+        // Far red splat then near green splat, both centered.
+        m.push_solid(Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.3), Quat::identity(), 0.8, Vec3::new(1.0, 0.0, 0.0));
+        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.3), Quat::identity(), 0.8, Vec3::new(0.0, 1.0, 0.0));
+        let cam = Camera::look_at(128, 128, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero());
+        (m, cam)
+    }
+
+    #[test]
+    fn bins_are_depth_sorted() {
+        let (m, cam) = scene();
+        let splats = project_model(&m, &cam, &RenderOptions::default());
+        let bins = TileBins::build(&splats, grid());
+        let center = bins.tile(4, 4);
+        assert!(center.len() >= 2);
+        for w in center.windows(2) {
+            assert!(splats[w[0] as usize].depth <= splats[w[1] as usize].depth);
+        }
+        // The near (green) splat must come first.
+        assert_eq!(splats[center[0] as usize].point_index, 1);
+    }
+
+    #[test]
+    fn total_intersections_matches_tile_rects() {
+        let (m, cam) = scene();
+        let splats = project_model(&m, &cam, &RenderOptions::default());
+        let bins = TileBins::build(&splats, grid());
+        let expected: u64 = splats.iter().map(|s| s.tile_count() as u64).sum();
+        assert_eq!(bins.total_intersections(), expected);
+    }
+
+    #[test]
+    fn counts_match_bins() {
+        let (m, cam) = scene();
+        let splats = project_model(&m, &cam, &RenderOptions::default());
+        let bins = TileBins::build(&splats, grid());
+        let counts = bins.intersection_counts();
+        assert_eq!(counts.len(), 64);
+        assert_eq!(
+            counts.iter().map(|&c| c as u64).sum::<u64>(),
+            bins.total_intersections()
+        );
+    }
+
+    #[test]
+    fn empty_splats_empty_bins() {
+        let bins = TileBins::build(&[], grid());
+        assert_eq!(bins.total_intersections(), 0);
+        assert!(bins.tile(0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_grid_tile_panics() {
+        let bins = TileBins::build(&[], grid());
+        let _ = bins.tile(8, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Renderer configuration.
+
+use ms_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// How splats are ordered before compositing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SortMode {
+    /// 3DGS convention: one front-to-back sort per tile by splat center
+    /// depth. Fast, but can "pop" when the per-tile order disagrees with the
+    /// true per-pixel order.
+    #[default]
+    PerTile,
+    /// StopThePop-style view-consistent ordering: contributions are gathered
+    /// per pixel and re-sorted by per-pixel depth before compositing.
+    /// More work per pixel (the paper's StopThePop baseline is slower than
+    /// 3DGS) but eliminates popping.
+    PerPixel,
+}
+
+/// Options controlling a render pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderOptions {
+    /// Square tile size in pixels (paper uses 16×16 for its workload
+    /// heatmaps; 3DGS uses 16).
+    pub tile_size: u32,
+    /// Background color composited behind the splats.
+    pub background: Vec3,
+    /// Minimum per-splat alpha; contributions below this are skipped
+    /// (1/255, the 3DGS convention).
+    pub alpha_min: f32,
+    /// Transmittance early-stop threshold: once accumulated transmittance
+    /// falls below this the pixel is finished.
+    pub t_min: f32,
+    /// Upper clamp for a single splat's alpha (0.99 in 3DGS, avoids a fully
+    /// opaque splat zeroing the gradient path).
+    pub alpha_max: f32,
+    /// Gaussian extent multiplier in standard deviations (3σ).
+    pub extent_sigma: f32,
+    /// Screen-space covariance dilation in px² (3DGS low-pass filter).
+    pub dilation: f32,
+    /// SH degree to evaluate (clamped to the model's degree).
+    pub sh_degree: usize,
+    /// Sorting strategy.
+    pub sort_mode: SortMode,
+    /// Record per-point dominance counts (`Val` of Eqn. 3) and per-point
+    /// tile-usage counts (`Comp`). Costs one extra image-sized buffer.
+    pub track_point_stats: bool,
+    /// Rasterize tiles on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            tile_size: 16,
+            background: Vec3::zero(),
+            alpha_min: 1.0 / 255.0,
+            t_min: 1e-4,
+            alpha_max: 0.99,
+            extent_sigma: 3.0,
+            dilation: 0.3,
+            sh_degree: ms_math::sh::MAX_DEGREE,
+            sort_mode: SortMode::PerTile,
+            track_point_stats: false,
+            parallel: false,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// Preset with point-statistics tracking enabled (used by the pruning
+    /// pipeline when measuring CE).
+    pub fn with_point_stats() -> Self {
+        Self {
+            track_point_stats: true,
+            ..Self::default()
+        }
+    }
+
+    /// Validate option ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tile_size == 0 {
+            return Err("tile_size must be > 0".into());
+        }
+        if !(0.0..1.0).contains(&self.alpha_min) {
+            return Err(format!("alpha_min {} out of [0,1)", self.alpha_min));
+        }
+        if !(0.0..=1.0).contains(&self.alpha_max) || self.alpha_max <= self.alpha_min {
+            return Err("alpha_max must be in (alpha_min, 1]".into());
+        }
+        if self.extent_sigma <= 0.0 {
+            return Err("extent_sigma must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid() {
+        RenderOptions::default().validate().unwrap();
+        RenderOptions::with_point_stats().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let mut o = RenderOptions::default();
+        o.tile_size = 0;
+        assert!(o.validate().is_err());
+        let mut o = RenderOptions::default();
+        o.alpha_min = 1.5;
+        assert!(o.validate().is_err());
+        let mut o = RenderOptions::default();
+        o.alpha_max = o.alpha_min / 2.0;
+        assert!(o.validate().is_err());
+        let mut o = RenderOptions::default();
+        o.extent_sigma = 0.0;
+        assert!(o.validate().is_err());
+    }
+}

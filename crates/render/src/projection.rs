@@ -1,0 +1,295 @@
+//! Projection stage: 3-D Gaussians → 2-D screen-space splats.
+//!
+//! Follows the EWA splatting formulation used by 3DGS: the 3-D covariance
+//! `Σ = R S Sᵀ Rᵀ` is pushed through the affine approximation of the
+//! perspective projection, `Σ₂ = J W Σ Wᵀ Jᵀ`, where `W` is the view
+//! rotation and `J` the projection Jacobian at the point's view-space
+//! position.
+
+use crate::options::RenderOptions;
+use ms_math::{Conic2, Cov2, Mat3, TileRect, Vec2, Vec3};
+use ms_scene::{Camera, GaussianModel};
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian after projection to the image plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedSplat {
+    /// Index of the source point in the model.
+    pub point_index: u32,
+    /// Screen-space center in pixels.
+    pub center: Vec2,
+    /// Inverse 2-D covariance.
+    pub conic: Conic2,
+    /// View-space depth (positive, in front of the camera).
+    pub depth: f32,
+    /// Bounding radius in pixels (extent_sigma standard deviations).
+    pub radius: f32,
+    /// View-evaluated RGB color.
+    pub color: Vec3,
+    /// Opacity in `[0, 1]`.
+    pub opacity: f32,
+    /// Tiles the splat's bounding circle overlaps.
+    pub tiles: TileRect,
+}
+
+impl ProjectedSplat {
+    /// Number of tile-ellipse intersections this splat contributes — the
+    /// `Comp`/`U` quantity of the paper's Eqns. 3 and 5.
+    pub fn tile_count(&self) -> u32 {
+        self.tiles.tile_count()
+    }
+}
+
+/// Compute the 2-D screen-space covariance of a Gaussian.
+///
+/// `view_rot` is the world→view rotation, `view_pos` the point's view-space
+/// position (camera looks down −Z), `focal` the pixel focal lengths, and
+/// `tan_half_fov` the frustum clamp bounds used by 3DGS to stabilize the
+/// Jacobian for points near the image border.
+pub fn project_covariance(
+    scale: Vec3,
+    rotation: ms_math::Quat,
+    view_rot: &Mat3,
+    view_pos: Vec3,
+    focal: Vec2,
+    tan_half_fov: Vec2,
+) -> Cov2 {
+    // 3-D covariance in world space: Σ = R S Sᵀ Rᵀ = (RS)(RS)ᵀ.
+    let r = rotation.to_mat3();
+    let rs = r * Mat3::from_diagonal(scale);
+    let cov3 = rs * rs.transposed();
+
+    // Clamp the view-space position like 3DGS to bound the Jacobian.
+    let depth = -view_pos.z; // positive depth
+    let lim_x = 1.3 * tan_half_fov.x;
+    let lim_y = 1.3 * tan_half_fov.y;
+    let tx = (view_pos.x / depth).clamp(-lim_x, lim_x) * depth;
+    let ty = (view_pos.y / depth).clamp(-lim_y, lim_y) * depth;
+
+    // Jacobian of the pixel mapping u = fx·x/depth + cx, v = −fy·y/depth + cy
+    // (image y points down) at the view-space point, with depth = −z.
+    let j = Mat3::from_rows(
+        [focal.x / depth, 0.0, focal.x * tx / (depth * depth)],
+        [0.0, -focal.y / depth, -focal.y * ty / (depth * depth)],
+        [0.0, 0.0, 0.0],
+    );
+    let t = j * *view_rot;
+    let cov2 = t.conjugate_symmetric(&cov3);
+    Cov2::new(cov2.m[0][0], cov2.m[0][1], cov2.m[1][1])
+}
+
+/// Project every visible Gaussian in `model` through `camera`.
+///
+/// Points behind the near plane, outside the (slightly padded) frustum, with
+/// degenerate screen footprints, or with opacity below `alpha_min` are
+/// culled. Splat order matches model order (stable point indices).
+pub fn project_model(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+) -> Vec<ProjectedSplat> {
+    project_model_filtered(model, camera, options, |_| true)
+}
+
+/// [`project_model`] with a per-point admission predicate.
+///
+/// Foveated rendering uses the predicate to drop points whose quality bound
+/// excludes them from the active level set before any further work
+/// (the paper's Filtering stage, Fig. 7-E).
+pub fn project_model_filtered<F: FnMut(usize) -> bool>(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+    mut admit: F,
+) -> Vec<ProjectedSplat> {
+    let view = camera.view_matrix();
+    let view_rot = view.upper_left3();
+    let focal = Vec2::new(camera.focal_x(), camera.focal_y());
+    let tan_half_fov = Vec2::new((camera.fovx() * 0.5).tan(), (camera.fovy * 0.5).tan());
+    let tiles_x = camera.width.div_ceil(options.tile_size);
+    let tiles_y = camera.height.div_ceil(options.tile_size);
+    let sh_degree = options.sh_degree.min(model.sh_degree);
+
+    let mut out = Vec::with_capacity(model.len() / 2);
+    for i in 0..model.len() {
+        if !admit(i) {
+            continue;
+        }
+        let opacity = model.opacities[i];
+        if opacity < options.alpha_min {
+            continue;
+        }
+        let world_pos = model.positions[i];
+        let view_pos = view.transform_point(world_pos).project();
+        let depth = -view_pos.z;
+        if depth < camera.near || depth > camera.far {
+            continue;
+        }
+        // Generous frustum cull: the splat's center may sit outside the
+        // image while its footprint still overlaps it; the tile-rect test
+        // below is the precise one, this just skips far-out points early.
+        if (view_pos.x / depth).abs() > 1.5 * tan_half_fov.x + 1.0
+            || (view_pos.y / depth).abs() > 1.5 * tan_half_fov.y + 1.0
+        {
+            continue;
+        }
+        let Some(center) = camera.view_to_pixel(view_pos) else {
+            continue;
+        };
+        let cov2 = project_covariance(
+            model.scales[i],
+            model.rotations[i],
+            &view_rot,
+            view_pos,
+            focal,
+            tan_half_fov,
+        )
+        .dilated(options.dilation);
+        let Some(conic) = cov2.to_conic() else {
+            continue;
+        };
+        let radius = cov2.bounding_radius(options.extent_sigma).ceil();
+        if radius < 0.5 {
+            continue;
+        }
+        let Some(tiles) = TileRect::from_circle(center, radius, options.tile_size, tiles_x, tiles_y)
+        else {
+            continue;
+        };
+        let view_dir = world_pos - camera.eye;
+        let color = ms_math::sh::eval_color(sh_degree, view_dir, model.sh(i));
+        out.push(ProjectedSplat {
+            point_index: i as u32,
+            center,
+            conic,
+            depth,
+            radius,
+            color,
+            opacity,
+            tiles,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::Quat;
+
+    fn single_point_model(pos: Vec3, scale: Vec3, opacity: f32) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        m.push_solid(pos, scale, Quat::identity(), opacity, Vec3::new(0.8, 0.4, 0.2));
+        m
+    }
+
+    fn cam() -> Camera {
+        Camera::look_at(128, 128, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero())
+    }
+
+    #[test]
+    fn centered_point_projects_to_image_center() {
+        let m = single_point_model(Vec3::zero(), Vec3::splat(0.1), 0.9);
+        let splats = project_model(&m, &cam(), &RenderOptions::default());
+        assert_eq!(splats.len(), 1);
+        let s = &splats[0];
+        assert!((s.center.x - 64.0).abs() < 0.5);
+        assert!((s.center.y - 64.0).abs() < 0.5);
+        assert!((s.depth - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn isotropic_gaussian_projects_isotropically() {
+        let m = single_point_model(Vec3::zero(), Vec3::splat(0.2), 0.9);
+        let splats = project_model(&m, &cam(), &RenderOptions::default());
+        let c = splats[0].conic;
+        assert!((c.a - c.c).abs() / c.a < 0.05, "conic {c:?} should be isotropic");
+        assert!(c.b.abs() / c.a < 0.05);
+    }
+
+    #[test]
+    fn projected_size_matches_pinhole_math() {
+        let sigma_world = 0.2f32;
+        let depth = 4.0f32;
+        let m = single_point_model(Vec3::zero(), Vec3::splat(sigma_world), 0.9);
+        let camera = cam();
+        let mut opts = RenderOptions::default();
+        opts.dilation = 0.0;
+        let splats = project_model(&m, &camera, &opts);
+        let expected_sigma_px = camera.focal_y() * sigma_world / depth;
+        let radius = splats[0].radius;
+        assert!(
+            (radius - 3.0 * expected_sigma_px).abs() <= 1.5,
+            "radius {radius} vs expected {}",
+            3.0 * expected_sigma_px
+        );
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        let m = single_point_model(Vec3::new(0.0, 0.0, 10.0), Vec3::splat(0.1), 0.9);
+        assert!(project_model(&m, &cam(), &RenderOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn transparent_point_is_culled() {
+        let m = single_point_model(Vec3::zero(), Vec3::splat(0.1), 0.001);
+        assert!(project_model(&m, &cam(), &RenderOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn far_off_axis_point_is_culled() {
+        let m = single_point_model(Vec3::new(100.0, 0.0, 0.0), Vec3::splat(0.1), 0.9);
+        assert!(project_model(&m, &cam(), &RenderOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn closer_point_is_bigger() {
+        let mut m = GaussianModel::new(0);
+        m.push_solid(Vec3::zero(), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
+        m.push_solid(Vec3::new(0.0, 0.0, 2.0), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
+        let splats = project_model(&m, &cam(), &RenderOptions::default());
+        assert_eq!(splats.len(), 2);
+        assert!(splats[1].radius > splats[0].radius);
+        assert!(splats[1].depth < splats[0].depth);
+    }
+
+    #[test]
+    fn filter_predicate_drops_points() {
+        let mut m = GaussianModel::new(0);
+        for i in 0..4 {
+            m.push_solid(
+                Vec3::new(i as f32 * 0.1, 0.0, 0.0),
+                Vec3::splat(0.1),
+                Quat::identity(),
+                0.9,
+                Vec3::one(),
+            );
+        }
+        let splats =
+            project_model_filtered(&m, &cam(), &RenderOptions::default(), |i| i % 2 == 0);
+        assert_eq!(splats.len(), 2);
+        assert_eq!(splats[0].point_index, 0);
+        assert_eq!(splats[1].point_index, 2);
+    }
+
+    #[test]
+    fn anisotropic_gaussian_elongates_in_right_axis() {
+        // Long in world X → long in image x.
+        let m = single_point_model(Vec3::zero(), Vec3::new(0.5, 0.05, 0.05), 0.9);
+        let splats = project_model(&m, &cam(), &RenderOptions::default());
+        let conic = splats[0].conic;
+        // Long axis in x means small inverse-variance in x: conic.a < conic.c.
+        assert!(conic.a < conic.c);
+    }
+
+    #[test]
+    fn tile_count_reflects_splat_size() {
+        let small = single_point_model(Vec3::zero(), Vec3::splat(0.05), 0.9);
+        let large = single_point_model(Vec3::zero(), Vec3::splat(1.0), 0.9);
+        let opts = RenderOptions::default();
+        let ts = project_model(&small, &cam(), &opts)[0].tile_count();
+        let tl = project_model(&large, &cam(), &opts)[0].tile_count();
+        assert!(tl > ts, "large splat should hit more tiles ({tl} vs {ts})");
+    }
+}

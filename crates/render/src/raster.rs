@@ -1,0 +1,558 @@
+//! Rasterization stage and the top-level [`Renderer`].
+
+use crate::binning::TileBins;
+use crate::image::Image;
+use crate::options::{RenderOptions, SortMode};
+use crate::projection::{project_model_filtered, ProjectedSplat};
+use crate::stats::{RenderStats, TileGridDims};
+use ms_math::Vec2;
+use ms_scene::{Camera, GaussianModel};
+
+/// Result of a render pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderOutput {
+    /// The rendered image.
+    pub image: Image,
+    /// Workload statistics of the pass.
+    pub stats: RenderStats,
+}
+
+/// The tile-based splatting renderer.
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    options: RenderOptions,
+}
+
+/// Output of rasterizing one horizontal band of tiles.
+struct BandResult {
+    /// First pixel row of the band.
+    y_start: u32,
+    /// Pixels (row-major within the band).
+    pixels: Vec<ms_math::Vec3>,
+    /// Winning splat *point index* per pixel (u32::MAX = none).
+    winners: Vec<u32>,
+    /// Compositing steps executed.
+    blend_steps: u64,
+}
+
+impl Renderer {
+    /// Create a renderer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` fail validation — configuration errors are
+    /// programmer errors here, not runtime conditions.
+    pub fn new(options: RenderOptions) -> Self {
+        options.validate().expect("invalid render options");
+        Self { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &RenderOptions {
+        &self.options
+    }
+
+    /// Render `model` from `camera`.
+    pub fn render(&self, model: &GaussianModel, camera: &Camera) -> RenderOutput {
+        self.render_filtered(model, camera, |_| true)
+    }
+
+    /// Render with a per-point admission predicate (the foveation Filtering
+    /// stage drops points whose quality bound excludes them).
+    pub fn render_filtered<F: FnMut(usize) -> bool>(
+        &self,
+        model: &GaussianModel,
+        camera: &Camera,
+        admit: F,
+    ) -> RenderOutput {
+        let splats = project_model_filtered(model, camera, &self.options, admit);
+        self.render_splats(model.len(), &splats, camera)
+    }
+
+    /// Render only the pixels where `mask` is true (row-major, one entry
+    /// per pixel); masked-out pixels keep the background color. Tiles with
+    /// no active pixel are skipped entirely — splats are not even duplicated
+    /// into them, mirroring the foveation Filtering stage (Fig. 7-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask.len() != width * height`.
+    pub fn render_masked<F: FnMut(usize) -> bool>(
+        &self,
+        model: &GaussianModel,
+        camera: &Camera,
+        admit: F,
+        mask: &[bool],
+    ) -> RenderOutput {
+        assert_eq!(
+            mask.len(),
+            (camera.width * camera.height) as usize,
+            "pixel mask size mismatch"
+        );
+        let splats = project_model_filtered(model, camera, &self.options, admit);
+        self.render_splats_inner(model.len(), &splats, camera, Some(mask))
+    }
+
+    /// Rasterize pre-projected splats. Exposed so callers that re-render the
+    /// same projection (e.g. the trainer's forward/backward passes) can skip
+    /// re-projection.
+    pub fn render_splats(
+        &self,
+        model_len: usize,
+        splats: &[ProjectedSplat],
+        camera: &Camera,
+    ) -> RenderOutput {
+        self.render_splats_inner(model_len, splats, camera, None)
+    }
+
+    fn render_splats_inner(
+        &self,
+        model_len: usize,
+        splats: &[ProjectedSplat],
+        camera: &Camera,
+        mask: Option<&[bool]>,
+    ) -> RenderOutput {
+        let grid = TileGridDims {
+            tiles_x: camera.width.div_ceil(self.options.tile_size),
+            tiles_y: camera.height.div_ceil(self.options.tile_size),
+            tile_size: self.options.tile_size,
+        };
+        let bins = match mask {
+            None => TileBins::build(splats, grid),
+            Some(mask) => {
+                let ts = self.options.tile_size;
+                TileBins::build_filtered(splats, grid, |tx, ty| {
+                    let x_end = ((tx + 1) * ts).min(camera.width);
+                    let y_end = ((ty + 1) * ts).min(camera.height);
+                    for y in (ty * ts)..y_end {
+                        for x in (tx * ts)..x_end {
+                            if mask[(y * camera.width + x) as usize] {
+                                return true;
+                            }
+                        }
+                    }
+                    false
+                })
+            }
+        };
+
+        let mut image = Image::filled(camera.width, camera.height, self.options.background);
+        let track = self.options.track_point_stats;
+        let mut winners: Vec<u32> = if track {
+            vec![u32::MAX; (camera.width * camera.height) as usize]
+        } else {
+            Vec::new()
+        };
+
+        let bands: Vec<BandResult> = if self.options.parallel && grid.tiles_y > 1 {
+            self.rasterize_parallel(splats, &bins, camera, grid, mask)
+        } else {
+            (0..grid.tiles_y)
+                .map(|ty| self.rasterize_band(splats, &bins, camera, grid, ty, mask))
+                .collect()
+        };
+
+        let mut blend_steps = 0u64;
+        for band in bands {
+            blend_steps += band.blend_steps;
+            let rows = band.pixels.len() as u32 / camera.width;
+            for dy in 0..rows {
+                let y = band.y_start + dy;
+                for x in 0..camera.width {
+                    let idx = (dy * camera.width + x) as usize;
+                    image.set_pixel(x, y, band.pixels[idx]);
+                    if track {
+                        winners[(y * camera.width + x) as usize] = band.winners[idx];
+                    }
+                }
+            }
+        }
+
+        let tile_intersections = bins.intersection_counts();
+        let total_intersections = bins.total_intersections();
+        let (point_tiles_used, point_pixels_dominated) = if track {
+            // Derived from the bins so masked-out tiles do not count.
+            let mut tiles_used = vec![0u32; model_len];
+            for ty in 0..grid.tiles_y {
+                for tx in 0..grid.tiles_x {
+                    for &si in bins.tile(tx, ty) {
+                        tiles_used[splats[si as usize].point_index as usize] += 1;
+                    }
+                }
+            }
+            let mut dominated = vec![0u32; model_len];
+            for &w in &winners {
+                if w != u32::MAX {
+                    dominated[w as usize] += 1;
+                }
+            }
+            (tiles_used, dominated)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        RenderOutput {
+            image,
+            stats: RenderStats {
+                grid,
+                tile_intersections,
+                points_projected: splats.len(),
+                points_submitted: model_len,
+                total_intersections,
+                blend_steps,
+                point_tiles_used,
+                point_pixels_dominated,
+            },
+        }
+    }
+
+    fn rasterize_parallel(
+        &self,
+        splats: &[ProjectedSplat],
+        bins: &TileBins,
+        camera: &Camera,
+        grid: TileGridDims,
+        mask: Option<&[bool]>,
+    ) -> Vec<BandResult> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(grid.tiles_y as usize)
+            .max(1);
+        let next = std::sync::atomic::AtomicU32::new(0);
+        let mut results: Vec<Option<BandResult>> = Vec::new();
+        results.resize_with(grid.tiles_y as usize, || None);
+        let results_mutex = std::sync::Mutex::new(&mut results);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let ty = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if ty >= grid.tiles_y {
+                        break;
+                    }
+                    let band = self.rasterize_band(splats, bins, camera, grid, ty, mask);
+                    results_mutex.lock().unwrap()[ty as usize] = Some(band);
+                });
+            }
+        })
+        .expect("rasterization worker panicked");
+        results.into_iter().map(|b| b.expect("band missing")).collect()
+    }
+
+    /// Rasterize one horizontal band (all tiles with the given tile row).
+    fn rasterize_band(
+        &self,
+        splats: &[ProjectedSplat],
+        bins: &TileBins,
+        camera: &Camera,
+        grid: TileGridDims,
+        ty: u32,
+        mask: Option<&[bool]>,
+    ) -> BandResult {
+        let ts = grid.tile_size;
+        let y_start = ty * ts;
+        let y_end = (y_start + ts).min(camera.height);
+        let rows = y_end - y_start;
+        let mut pixels = vec![self.options.background; (rows * camera.width) as usize];
+        let mut winners = vec![u32::MAX; (rows * camera.width) as usize];
+        let mut blend_steps = 0u64;
+        let track = self.options.track_point_stats;
+
+        // Scratch buffer for the per-pixel sort mode.
+        let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
+
+        for tx in 0..grid.tiles_x {
+            let list = bins.tile(tx, ty);
+            if list.is_empty() {
+                continue;
+            }
+            let x_start = tx * ts;
+            let x_end = (x_start + ts).min(camera.width);
+            for y in y_start..y_end {
+                for x in x_start..x_end {
+                    if let Some(mask) = mask {
+                        if !mask[(y * camera.width + x) as usize] {
+                            continue;
+                        }
+                    }
+                    let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+                    let out_idx = ((y - y_start) * camera.width + x) as usize;
+                    match self.options.sort_mode {
+                        SortMode::PerTile => {
+                            let (color, winner, steps) = self.composite_pixel(splats, list, px);
+                            pixels[out_idx] = color;
+                            if track {
+                                winners[out_idx] = winner;
+                            }
+                            blend_steps += steps;
+                        }
+                        SortMode::PerPixel => {
+                            let (color, winner, steps) =
+                                self.composite_pixel_sorted(splats, list, px, &mut contribs);
+                            pixels[out_idx] = color;
+                            if track {
+                                winners[out_idx] = winner;
+                            }
+                            blend_steps += steps;
+                        }
+                    }
+                }
+            }
+        }
+        BandResult { y_start, pixels, winners, blend_steps }
+    }
+
+    /// Composite one pixel front-to-back over a depth-sorted splat list.
+    /// Returns (color, dominating point index or MAX, blend steps).
+    #[inline]
+    fn composite_pixel(
+        &self,
+        splats: &[ProjectedSplat],
+        list: &[u32],
+        px: Vec2,
+    ) -> (ms_math::Vec3, u32, u64) {
+        let o = &self.options;
+        let mut color = ms_math::Vec3::zero();
+        let mut t = 1.0f32;
+        let mut best_w = 0.0f32;
+        let mut best = u32::MAX;
+        let mut steps = 0u64;
+        for &si in list {
+            let s = &splats[si as usize];
+            let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
+            if alpha < o.alpha_min {
+                continue;
+            }
+            steps += 1;
+            let w = t * alpha;
+            color += s.color * w;
+            if w > best_w {
+                best_w = w;
+                best = s.point_index;
+            }
+            t *= 1.0 - alpha;
+            if t < o.t_min {
+                break;
+            }
+        }
+        color += self.options.background * t;
+        (color, best, steps)
+    }
+
+    /// Per-pixel sorted compositing (StopThePop-style).
+    ///
+    /// Our splats retain only their center depth, so the per-pixel key is
+    /// the same center depth the tile sort used — the output matches
+    /// [`Self::composite_pixel`], but the gather+sort cost per pixel is
+    /// real, which is what the StopThePop FPS baseline measures (it trades
+    /// throughput for view-consistent ordering).
+    #[inline]
+    fn composite_pixel_sorted(
+        &self,
+        splats: &[ProjectedSplat],
+        list: &[u32],
+        px: Vec2,
+        contribs: &mut Vec<(f32, f32, ms_math::Vec3, u32)>,
+    ) -> (ms_math::Vec3, u32, u64) {
+        let o = &self.options;
+        contribs.clear();
+        for &si in list {
+            let s = &splats[si as usize];
+            let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
+            if alpha < o.alpha_min {
+                continue;
+            }
+            contribs.push((s.depth, alpha, s.color, s.point_index));
+        }
+        contribs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut color = ms_math::Vec3::zero();
+        let mut t = 1.0f32;
+        let mut best_w = 0.0f32;
+        let mut best = u32::MAX;
+        let mut steps = 0u64;
+        for &(_, alpha, c, pi) in contribs.iter() {
+            steps += 1;
+            let w = t * alpha;
+            color += c * w;
+            if w > best_w {
+                best_w = w;
+                best = pi;
+            }
+            t *= 1.0 - alpha;
+            if t < o.t_min {
+                break;
+            }
+        }
+        color += self.options.background * t;
+        (color, best, steps)
+    }
+}
+
+impl Default for Renderer {
+    fn default() -> Self {
+        Self::new(RenderOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+
+    fn cam(w: u32, h: u32) -> Camera {
+        Camera::look_at(w, h, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero())
+    }
+
+    fn solid_model(points: &[(Vec3, Vec3, f32, Vec3)]) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        for &(pos, scale, opacity, rgb) in points {
+            m.push_solid(pos, scale, Quat::identity(), opacity, rgb);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_model_renders_background() {
+        let m = GaussianModel::new(0);
+        let mut opts = RenderOptions::default();
+        opts.background = Vec3::new(0.1, 0.2, 0.3);
+        let out = Renderer::new(opts).render(&m, &cam(64, 64));
+        assert_eq!(out.image.pixel(10, 10), Vec3::new(0.1, 0.2, 0.3));
+        assert_eq!(out.stats.total_intersections, 0);
+    }
+
+    #[test]
+    fn single_splat_colors_center() {
+        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.3), 0.95, Vec3::new(1.0, 0.0, 0.0))]);
+        let out = Renderer::default().render(&m, &cam(64, 64));
+        let c = out.image.pixel(32, 32);
+        assert!(c.x > 0.7, "center should be strongly red, got {c}");
+        assert!(c.y < 0.3);
+        // Corner far from the splat should stay black.
+        let corner = out.image.pixel(1, 1);
+        assert!(corner.x < 0.1, "corner should be dark, got {corner}");
+    }
+
+    #[test]
+    fn nearer_splat_occludes() {
+        let m = solid_model(&[
+            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.99, Vec3::new(1.0, 0.0, 0.0)),
+            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.99, Vec3::new(0.0, 1.0, 0.0)),
+        ]);
+        let out = Renderer::default().render(&m, &cam(64, 64));
+        let c = out.image.pixel(32, 32);
+        assert!(c.y > c.x, "near green splat should dominate: {c}");
+    }
+
+    #[test]
+    fn model_order_does_not_matter() {
+        let a = solid_model(&[
+            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.9, Vec3::new(0.0, 1.0, 0.0)),
+        ]);
+        let b = solid_model(&[
+            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.9, Vec3::new(0.0, 1.0, 0.0)),
+            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+        ]);
+        let ra = Renderer::default().render(&a, &cam(64, 64));
+        let rb = Renderer::default().render(&b, &cam(64, 64));
+        assert!(ra.image.mse(&rb.image) < 1e-10);
+    }
+
+    #[test]
+    fn per_pixel_sort_matches_per_tile_for_center_depth() {
+        let m = solid_model(&[
+            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+            (Vec3::new(0.3, 0.1, 1.0), Vec3::splat(0.4), 0.8, Vec3::new(0.0, 1.0, 0.0)),
+        ]);
+        let mut opts = RenderOptions::default();
+        opts.sort_mode = SortMode::PerPixel;
+        let pp = Renderer::new(opts).render(&m, &cam(64, 64));
+        let pt = Renderer::default().render(&m, &cam(64, 64));
+        assert!(pp.image.mse(&pt.image) < 1e-10);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let m = solid_model(&[
+            (Vec3::new(-0.5, 0.0, 0.0), Vec3::splat(0.3), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+            (Vec3::new(0.5, 0.2, 0.5), Vec3::splat(0.25), 0.7, Vec3::new(0.0, 1.0, 0.0)),
+            (Vec3::new(0.0, -0.4, -0.5), Vec3::splat(0.35), 0.8, Vec3::new(0.0, 0.0, 1.0)),
+        ]);
+        let mut opts = RenderOptions::default();
+        opts.parallel = true;
+        opts.track_point_stats = true;
+        let par = Renderer::new(opts.clone()).render(&m, &cam(96, 80));
+        opts.parallel = false;
+        let ser = Renderer::new(opts).render(&m, &cam(96, 80));
+        assert!(par.image.mse(&ser.image) < 1e-12);
+        assert_eq!(par.stats.point_pixels_dominated, ser.stats.point_pixels_dominated);
+        assert_eq!(par.stats.blend_steps, ser.stats.blend_steps);
+    }
+
+    #[test]
+    fn dominance_counts_assign_pixels() {
+        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.5), 0.95, Vec3::one())]);
+        let out = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
+        assert_eq!(out.stats.point_pixels_dominated.len(), 1);
+        assert!(out.stats.point_pixels_dominated[0] > 100);
+        assert!(out.stats.point_tiles_used[0] >= 1);
+    }
+
+    #[test]
+    fn occluded_point_dominates_nothing() {
+        let m = solid_model(&[
+            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.6), 0.99, Vec3::new(0.0, 1.0, 0.0)),
+            // Same center but farther and smaller: fully hidden.
+            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.1), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+        ]);
+        let out = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
+        let dom = &out.stats.point_pixels_dominated;
+        assert!(dom[0] > 0);
+        assert_eq!(dom[1], 0, "occluded point should dominate no pixels");
+    }
+
+    #[test]
+    fn transmittance_early_stop_reduces_blend_steps() {
+        // A stack of opaque splats: early-stop should keep blend steps far
+        // below (pixels × splats).
+        let pts: Vec<(Vec3, Vec3, f32, Vec3)> = (0..20)
+            .map(|i| (Vec3::new(0.0, 0.0, i as f32 * 0.01), Vec3::splat(0.4), 0.99, Vec3::one()))
+            .collect();
+        let m = solid_model(&pts);
+        let out = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
+        let naive = out.stats.total_intersections * (16 * 16) as u64;
+        assert!(out.stats.blend_steps < naive / 2, "early stop ineffective");
+    }
+
+    #[test]
+    fn render_filtered_excludes_points() {
+        let m = solid_model(&[
+            (Vec3::zero(), Vec3::splat(0.4), 0.95, Vec3::new(1.0, 0.0, 0.0)),
+            (Vec3::zero(), Vec3::splat(0.4), 0.95, Vec3::new(0.0, 1.0, 0.0)),
+        ]);
+        let r = Renderer::default();
+        let only_red = r.render_filtered(&m, &cam(64, 64), |i| i == 0);
+        let c = only_red.image.pixel(32, 32);
+        assert!(c.x > 0.5 && c.y < 0.1);
+        assert_eq!(only_red.stats.points_projected, 1);
+    }
+
+    #[test]
+    fn stats_grid_covers_image() {
+        let m = GaussianModel::new(0);
+        let out = Renderer::default().render(&m, &cam(100, 70));
+        assert_eq!(out.stats.grid.tiles_x, 7); // ceil(100/16)
+        assert_eq!(out.stats.grid.tiles_y, 5); // ceil(70/16)
+        assert_eq!(out.stats.tile_intersections.len(), 35);
+    }
+
+    #[test]
+    fn alpha_max_caps_single_splat() {
+        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.5), 1.0, Vec3::one())]);
+        let out = Renderer::default().render(&m, &cam(64, 64));
+        let c = out.image.pixel(32, 32);
+        // alpha capped at 0.99 → some background leaks through.
+        assert!(c.x <= 0.9901);
+    }
+}

@@ -1,0 +1,123 @@
+//! Render statistics: the measurement instrument behind the paper's
+//! workload analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Tile-grid dimensions of a render pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGridDims {
+    /// Tiles per row.
+    pub tiles_x: u32,
+    /// Tiles per column.
+    pub tiles_y: u32,
+    /// Tile size in pixels.
+    pub tile_size: u32,
+}
+
+impl TileGridDims {
+    /// Total tile count.
+    pub fn tile_count(&self) -> usize {
+        (self.tiles_x * self.tiles_y) as usize
+    }
+}
+
+/// Statistics gathered during one render pass.
+///
+/// * `tile_intersections` is the paper's per-tile workload quantity (the
+///   Fig. 9 heatmap/boxplots and the Fig. 4 "# of Intersect." axis).
+/// * `point_tiles_used` is `Compᵢ`/`Uᵢ` of Eqns. 3 and 5.
+/// * `point_pixels_dominated` is `Valᵢ` of Eqn. 3 ("number of pixels
+///   dominated by that point", dominance = largest `Tᵢαᵢ`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderStats {
+    /// Tile-grid geometry.
+    pub grid: TileGridDims,
+    /// Number of splats intersecting each tile (row-major).
+    pub tile_intersections: Vec<u32>,
+    /// Points that survived culling.
+    pub points_projected: usize,
+    /// Points submitted (before culling/filtering).
+    pub points_submitted: usize,
+    /// Total tile-ellipse intersections (== sum of `tile_intersections`).
+    pub total_intersections: u64,
+    /// Total per-pixel compositing steps actually executed (after
+    /// early-stop) — proportional to rasterization math.
+    pub blend_steps: u64,
+    /// Per-point count of tiles used this frame (`Comp`); empty unless
+    /// `track_point_stats` was set.
+    pub point_tiles_used: Vec<u32>,
+    /// Per-point count of pixels dominated this frame (`Val`); empty unless
+    /// `track_point_stats` was set.
+    pub point_pixels_dominated: Vec<u32>,
+}
+
+impl RenderStats {
+    /// Average intersections per tile.
+    pub fn mean_intersections_per_tile(&self) -> f32 {
+        if self.tile_intersections.is_empty() {
+            return 0.0;
+        }
+        self.total_intersections as f32 / self.tile_intersections.len() as f32
+    }
+
+    /// Maximum intersections over tiles (the pipeline-critical tile).
+    pub fn max_intersections_per_tile(&self) -> u32 {
+        self.tile_intersections.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Workload-imbalance ratio: max/mean intersections per tile. 1.0 is
+    /// perfectly balanced; the paper reports 3+ orders of magnitude spread.
+    pub fn imbalance_ratio(&self) -> f32 {
+        let mean = self.mean_intersections_per_tile();
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.max_intersections_per_tile() as f32 / mean
+    }
+
+    /// Per-tile intersection counts as `f32` (for stats helpers).
+    pub fn tile_intersections_f32(&self) -> Vec<f32> {
+        self.tile_intersections.iter().map(|&x| x as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tiles: Vec<u32>) -> RenderStats {
+        let total = tiles.iter().map(|&t| t as u64).sum();
+        RenderStats {
+            grid: TileGridDims { tiles_x: tiles.len() as u32, tiles_y: 1, tile_size: 16 },
+            total_intersections: total,
+            tile_intersections: tiles,
+            points_projected: 0,
+            points_submitted: 0,
+            blend_steps: 0,
+            point_tiles_used: Vec::new(),
+            point_pixels_dominated: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn means_and_max() {
+        let s = stats(vec![0, 10, 20, 30]);
+        assert!((s.mean_intersections_per_tile() - 15.0).abs() < 1e-6);
+        assert_eq!(s.max_intersections_per_tile(), 30);
+        assert!((s.imbalance_ratio() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = stats(vec![]);
+        assert_eq!(s.mean_intersections_per_tile(), 0.0);
+        assert_eq!(s.max_intersections_per_tile(), 0);
+        assert_eq!(s.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn grid_tile_count() {
+        let g = TileGridDims { tiles_x: 4, tiles_y: 3, tile_size: 16 };
+        assert_eq!(g.tile_count(), 12);
+    }
+}

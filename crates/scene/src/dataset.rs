@@ -1,0 +1,233 @@
+//! The evaluation corpus: 13 named traces in 3 datasets.
+//!
+//! Mirrors the paper's corpus ("Mip-Nerf360, Tanks & Temple, and
+//! DeepBlending, which amounts to 13 traces in total", §6). Each trace maps
+//! to a deterministic [`SceneSpec`](crate::synth::SceneSpec) whose point
+//! budget and composition echo the real scene's character (e.g. `bicycle` is
+//! the largest/most cluttered; indoor traces are smaller and denser).
+
+use crate::synth::{self, Scene, SceneSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Mip-NeRF 360 (9 traces; large unbounded outdoor/indoor scenes).
+    MipNerf360,
+    /// Tanks & Temples (2 traces).
+    TanksAndTemples,
+    /// Deep Blending (2 traces).
+    DeepBlending,
+}
+
+impl Dataset {
+    /// All datasets in paper order.
+    pub const ALL: [Dataset; 3] = [
+        Dataset::MipNerf360,
+        Dataset::TanksAndTemples,
+        Dataset::DeepBlending,
+    ];
+
+    /// Trace names belonging to this dataset.
+    pub fn trace_names(self) -> &'static [&'static str] {
+        match self {
+            Dataset::MipNerf360 => &[
+                "bicycle", "garden", "stump", "room", "counter", "kitchen", "bonsai", "flowers",
+                "treehill",
+            ],
+            Dataset::TanksAndTemples => &["truck", "train"],
+            Dataset::DeepBlending => &["drjohnson", "playroom"],
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Dataset::MipNerf360 => "Mip-NeRF 360",
+            Dataset::TanksAndTemples => "Tanks & Temples",
+            Dataset::DeepBlending => "Deep Blending",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Identifier of a single trace (dataset + scene name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceId {
+    /// Owning dataset.
+    pub dataset: Dataset,
+    /// Scene name (paper nomenclature, lowercase).
+    pub name: &'static str,
+}
+
+impl TraceId {
+    /// Look up a trace by dataset and name.
+    pub fn new(dataset: Dataset, name: &str) -> Option<Self> {
+        dataset
+            .trace_names()
+            .iter()
+            .find(|&&n| n == name)
+            .map(|&n| TraceId { dataset, name: n })
+    }
+
+    /// Find a trace by name across all datasets.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Dataset::ALL.iter().find_map(|&d| TraceId::new(d, name))
+    }
+
+    /// All 13 traces in paper order.
+    pub fn all() -> Vec<TraceId> {
+        Dataset::ALL
+            .iter()
+            .flat_map(|&d| d.trace_names().iter().map(move |&n| TraceId { dataset: d, name: n }))
+            .collect()
+    }
+
+    /// The four traces used in the user study (Fig. 11).
+    pub fn user_study() -> [TraceId; 4] {
+        [
+            TraceId::by_name("room").unwrap(),
+            TraceId::by_name("drjohnson").unwrap(),
+            TraceId::by_name("truck").unwrap(),
+            TraceId::by_name("bicycle").unwrap(),
+        ]
+    }
+
+    /// Relative size/complexity of this trace (1.0 = corpus average).
+    ///
+    /// `bicycle` is the paper's largest trace (its dense checkpoint is
+    /// 1.4 GB and it shows the biggest speedups, §7.2); indoor traces are
+    /// smaller.
+    pub fn complexity(self) -> f32 {
+        match self.name {
+            "bicycle" => 2.2,
+            "garden" => 1.9,
+            "stump" => 1.6,
+            "flowers" => 1.5,
+            "treehill" => 1.5,
+            "truck" => 1.2,
+            "train" => 1.1,
+            "kitchen" => 0.8,
+            "counter" => 0.7,
+            "room" => 0.65,
+            "bonsai" => 0.6,
+            "drjohnson" => 1.0,
+            "playroom" => 0.8,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether the trace is an unbounded outdoor scene (fatter scale tails,
+    /// more floaters).
+    pub fn outdoor(self) -> bool {
+        matches!(
+            self.name,
+            "bicycle" | "garden" | "stump" | "flowers" | "treehill" | "truck" | "train"
+        )
+    }
+
+    /// Deterministic seed for this trace.
+    pub fn seed(self) -> u64 {
+        // FNV-1a over the name, namespaced by dataset.
+        let mut h: u64 = 0xcbf29ce484222325 ^ (self.dataset as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Scene-generation spec at a given `scale` (fraction of the full-size
+    /// point budget; 1.0 ≈ 400 k points for an average trace — large enough
+    /// to exhibit the paper's distributions while tractable on CPU).
+    pub fn spec_with_scale(self, scale: f32) -> SceneSpec {
+        let base_points = 400_000.0;
+        let (floater, log_sigma) = if self.outdoor() { (0.10, 0.85) } else { (0.05, 0.6) };
+        SceneSpec {
+            seed: self.seed(),
+            total_points: ((base_points * self.complexity() * scale) as usize).max(200),
+            radius: if self.outdoor() { 14.0 } else { 7.0 },
+            cluster_count: if self.outdoor() { 8 } else { 5 },
+            cluster_fraction: 0.15,
+            ground_fraction: if self.outdoor() { 0.10 } else { 0.13 },
+            background_fraction: if self.outdoor() { 0.07 } else { 0.06 },
+            floater_fraction: floater,
+            base_log_scale: -3.2,
+            log_scale_sigma: log_sigma,
+            sh_degree: 3,
+        }
+    }
+
+    /// Generate this trace's scene at the given scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in spec were invalid, which the test suite
+    /// guards against.
+    pub fn build_scene_with_scale(self, scale: f32) -> Scene {
+        synth::generate(&self.spec_with_scale(scale)).expect("built-in trace specs are valid")
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.dataset, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_13_traces() {
+        assert_eq!(TraceId::all().len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = TraceId::by_name("bicycle").unwrap();
+        assert_eq!(t.dataset, Dataset::MipNerf360);
+        assert!(TraceId::by_name("nonexistent").is_none());
+        assert!(TraceId::new(Dataset::DeepBlending, "bicycle").is_none());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = TraceId::all().iter().map(|t| t.seed()).collect();
+        assert_eq!(seeds.len(), 13);
+    }
+
+    #[test]
+    fn bicycle_is_largest() {
+        let max = TraceId::all()
+            .into_iter()
+            .max_by(|a, b| a.complexity().partial_cmp(&b.complexity()).unwrap())
+            .unwrap();
+        assert_eq!(max.name, "bicycle");
+    }
+
+    #[test]
+    fn user_study_traces_match_paper() {
+        let names: Vec<&str> = TraceId::user_study().iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["room", "drjohnson", "truck", "bicycle"]);
+    }
+
+    #[test]
+    fn all_specs_are_valid_and_generate() {
+        for t in TraceId::all() {
+            let spec = t.spec_with_scale(0.003);
+            spec.validate().unwrap_or_else(|e| panic!("{t}: {e}"));
+            let scene = t.build_scene_with_scale(0.003);
+            assert!(scene.model.len() >= 200, "{t}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = TraceId::by_name("truck").unwrap();
+        assert_eq!(t.to_string(), "Tanks & Temples/truck");
+    }
+}

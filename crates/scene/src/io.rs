@@ -1,0 +1,195 @@
+//! Binary (de)serialization of [`GaussianModel`] checkpoints.
+//!
+//! A simple framed little-endian format (magic, version, SH degree, point
+//! count, then the SoA arrays). The encoded size equals
+//! [`GaussianModel::storage_bytes`] plus a fixed 16-byte header, so storage
+//! comparisons in the evaluation (Tbl. 1 "Storage (MB)") measure real bytes.
+
+use crate::GaussianModel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u32 = 0x4D53_4753; // "MSGS"
+const VERSION: u16 = 1;
+
+/// Errors produced by [`decode_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before all declared data was read.
+    Truncated,
+    /// Decoded data failed model validation.
+    Invalid(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic number"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encode a model to bytes.
+pub fn encode_model(model: &GaussianModel) -> Bytes {
+    let n = model.len();
+    let mut buf = BytesMut::with_capacity(16 + model.storage_bytes());
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(model.sh_degree as u16);
+    buf.put_u64_le(n as u64);
+    for p in &model.positions {
+        buf.put_f32_le(p.x);
+        buf.put_f32_le(p.y);
+        buf.put_f32_le(p.z);
+    }
+    for s in &model.scales {
+        buf.put_f32_le(s.x);
+        buf.put_f32_le(s.y);
+        buf.put_f32_le(s.z);
+    }
+    for q in &model.rotations {
+        buf.put_f32_le(q.w);
+        buf.put_f32_le(q.x);
+        buf.put_f32_le(q.y);
+        buf.put_f32_le(q.z);
+    }
+    for &o in &model.opacities {
+        buf.put_f32_le(o);
+    }
+    for &c in &model.sh_coeffs {
+        buf.put_f32_le(c);
+    }
+    buf.freeze()
+}
+
+/// Decode a model from bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the buffer is malformed, truncated, or
+/// decodes to a model violating [`GaussianModel::validate`].
+pub fn decode_model(mut data: &[u8]) -> Result<GaussianModel, DecodeError> {
+    if data.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let sh_degree = data.get_u16_le() as usize;
+    if sh_degree > ms_math::sh::MAX_DEGREE {
+        return Err(DecodeError::Invalid(format!("sh degree {sh_degree}")));
+    }
+    let n = data.get_u64_le() as usize;
+    let mut model = GaussianModel::new(sh_degree);
+    let stride = model.sh_stride();
+    let need = n * (12 + 12 + 16 + 4 + stride * 4);
+    if data.remaining() < need {
+        return Err(DecodeError::Truncated);
+    }
+    model.positions.reserve(n);
+    model.scales.reserve(n);
+    model.rotations.reserve(n);
+    model.opacities.reserve(n);
+    model.sh_coeffs.reserve(n * stride);
+    for _ in 0..n {
+        model.positions.push(ms_math::Vec3::new(
+            data.get_f32_le(),
+            data.get_f32_le(),
+            data.get_f32_le(),
+        ));
+    }
+    for _ in 0..n {
+        model.scales.push(ms_math::Vec3::new(
+            data.get_f32_le(),
+            data.get_f32_le(),
+            data.get_f32_le(),
+        ));
+    }
+    for _ in 0..n {
+        model.rotations.push(ms_math::Quat::new(
+            data.get_f32_le(),
+            data.get_f32_le(),
+            data.get_f32_le(),
+            data.get_f32_le(),
+        ));
+    }
+    for _ in 0..n {
+        model.opacities.push(data.get_f32_le());
+    }
+    for _ in 0..n * stride {
+        model.sh_coeffs.push(data.get_f32_le());
+    }
+    model.validate().map_err(DecodeError::Invalid)?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SceneSpec};
+
+    fn sample() -> GaussianModel {
+        generate(&SceneSpec { total_points: 300, ..SceneSpec::default() })
+            .unwrap()
+            .model
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = encode_model(&m);
+        let back = decode_model(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn encoded_size_matches_storage_accounting() {
+        let m = sample();
+        assert_eq!(encode_model(&m).len(), 16 + m.storage_bytes());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let m = sample();
+        let mut bytes = encode_model(&m).to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode_model(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = sample();
+        let bytes = encode_model(&m);
+        assert_eq!(decode_model(&bytes[..bytes.len() - 8]), Err(DecodeError::Truncated));
+        assert_eq!(decode_model(&bytes[..4]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let m = sample();
+        let mut bytes = encode_model(&m).to_vec();
+        bytes[4] = 0x7F;
+        assert!(matches!(decode_model(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let m = GaussianModel::new(2);
+        let back = decode_model(&encode_model(&m)).unwrap();
+        assert_eq!(m, back);
+    }
+}

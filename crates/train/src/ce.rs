@@ -1,0 +1,195 @@
+//! Computational Efficiency (CE) — the pruning metric of Eqn. 3.
+//!
+//! `CEᵢ = Valᵢ / Compᵢ`: the contribution a point makes to pixel values per
+//! unit of compute. `Valᵢ` is the number of pixels *dominated* by point `i`
+//! (it has the largest `Tᵢαᵢ` in their compositing sums); `Compᵢ` is the
+//! number of tile-ellipse intersections the point generates. Both are
+//! per-frame quantities; the paper aggregates CE by taking the **maximum
+//! over training poses** ("as opposed to the average, which is susceptible
+//! to dataset bias").
+
+use ms_render::{RenderOptions, Renderer};
+use ms_scene::{Camera, GaussianModel};
+use serde::{Deserialize, Serialize};
+
+/// How per-pose CE values are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CeAggregation {
+    /// Paper's choice: maximum CE across poses.
+    #[default]
+    Max,
+    /// Ablation alternative: mean CE across poses where the point is used.
+    Mean,
+}
+
+/// Options for CE computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CeOptions {
+    /// Pose aggregation mode.
+    pub aggregation: CeAggregation,
+    /// Render options for the statistics passes (`track_point_stats` is
+    /// forced on).
+    pub render: RenderOptions,
+}
+
+impl Default for CeOptions {
+    fn default() -> Self {
+        Self {
+            aggregation: CeAggregation::Max,
+            render: RenderOptions::default(),
+        }
+    }
+}
+
+/// Per-point CE over a set of training poses.
+///
+/// Points that are never used by any pose (outside every frustum, or fully
+/// culled) receive CE = 0 and are therefore pruned first.
+///
+/// # Panics
+///
+/// Panics when `cameras` is empty.
+pub fn compute_ce(model: &GaussianModel, cameras: &[Camera], options: &CeOptions) -> Vec<f32> {
+    assert!(!cameras.is_empty(), "CE needs at least one pose");
+    let mut render_opts = options.render.clone();
+    render_opts.track_point_stats = true;
+    let renderer = Renderer::new(render_opts);
+
+    let n = model.len();
+    let mut agg = vec![0.0f32; n];
+    let mut used_poses = vec![0u32; n];
+    for cam in cameras {
+        let out = renderer.render(model, cam);
+        let tiles = &out.stats.point_tiles_used;
+        let dom = &out.stats.point_pixels_dominated;
+        for i in 0..n {
+            if tiles[i] == 0 {
+                continue;
+            }
+            let ce = dom[i] as f32 / tiles[i] as f32;
+            match options.aggregation {
+                CeAggregation::Max => agg[i] = agg[i].max(ce),
+                CeAggregation::Mean => agg[i] += ce,
+            }
+            used_poses[i] += 1;
+        }
+    }
+    if options.aggregation == CeAggregation::Mean {
+        for i in 0..n {
+            if used_poses[i] > 0 {
+                agg[i] /= used_poses[i] as f32;
+            }
+        }
+    }
+    agg
+}
+
+/// Per-point `Uᵢ` — the number of tiles a point is used in — averaged over
+/// poses. This is the usage term of the Weighted-Scale metric (Eqn. 5).
+///
+/// # Panics
+///
+/// Panics when `cameras` is empty.
+pub fn compute_tile_usage(
+    model: &GaussianModel,
+    cameras: &[Camera],
+    render: &RenderOptions,
+) -> Vec<f32> {
+    assert!(!cameras.is_empty(), "usage needs at least one pose");
+    let mut render_opts = render.clone();
+    render_opts.track_point_stats = true;
+    let renderer = Renderer::new(render_opts);
+    let n = model.len();
+    let mut acc = vec![0.0f32; n];
+    for cam in cameras {
+        let out = renderer.render(model, cam);
+        for (a, &t) in acc.iter_mut().zip(&out.stats.point_tiles_used) {
+            *a += t as f32;
+        }
+    }
+    for a in &mut acc {
+        *a /= cameras.len() as f32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+
+    fn cam() -> Camera {
+        Camera::look_at(96, 96, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero())
+    }
+
+    /// A visible solid point, a huge dim floater, and an opaque backdrop.
+    /// Over real content (the backdrop) the floater dominates almost no
+    /// pixels while intersecting many tiles — the low-CE case.
+    fn floater_scene() -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        m.push_solid(Vec3::zero(), Vec3::splat(0.15), Quat::identity(), 0.95, Vec3::new(1.0, 0.2, 0.2));
+        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(1.2), Quat::identity(), 0.05, Vec3::splat(0.5));
+        m.push_solid(Vec3::new(0.0, 0.0, -2.0), Vec3::splat(3.0), Quat::identity(), 0.97, Vec3::new(0.3, 0.5, 0.3));
+        m
+    }
+
+    #[test]
+    fn floater_has_lower_ce() {
+        let m = floater_scene();
+        let ce = compute_ce(&m, &[cam()], &CeOptions::default());
+        assert!(
+            ce[0] > ce[1] * 3.0,
+            "solid point CE {} should dwarf floater CE {}",
+            ce[0],
+            ce[1]
+        );
+    }
+
+    #[test]
+    fn invisible_point_has_zero_ce() {
+        let mut m = floater_scene();
+        m.push_solid(Vec3::new(0.0, 0.0, 100.0), Vec3::splat(0.2), Quat::identity(), 0.9, Vec3::one());
+        let ce = compute_ce(&m, &[cam()], &CeOptions::default());
+        assert_eq!(ce[3], 0.0);
+    }
+
+    #[test]
+    fn max_aggregation_dominates_mean() {
+        // With two poses where a point is visible in only one, max ≥ mean.
+        let m = floater_scene();
+        let cams = [
+            cam(),
+            Camera::look_at(96, 96, 60.0, Vec3::new(4.0, 0.0, 0.0), Vec3::zero()),
+        ];
+        let max_ce = compute_ce(&m, &cams, &CeOptions { aggregation: CeAggregation::Max, ..CeOptions::default() });
+        let mean_ce = compute_ce(&m, &cams, &CeOptions { aggregation: CeAggregation::Mean, ..CeOptions::default() });
+        for i in 0..m.len() {
+            assert!(max_ce[i] >= mean_ce[i] - 1e-5, "point {i}: max {} < mean {}", max_ce[i], mean_ce[i]);
+        }
+    }
+
+    #[test]
+    fn occluded_point_has_zero_val_but_positive_comp() {
+        let mut m = GaussianModel::new(0);
+        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.5), Quat::identity(), 0.99, Vec3::one());
+        // Hidden behind the first.
+        m.push_solid(Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
+        let ce = compute_ce(&m, &[cam()], &CeOptions::default());
+        assert!(ce[0] > 0.0);
+        assert_eq!(ce[1], 0.0, "occluded point dominates nothing → CE 0");
+    }
+
+    #[test]
+    fn tile_usage_scales_with_splat_size() {
+        let m = floater_scene();
+        let usage = compute_tile_usage(&m, &[cam()], &RenderOptions::default());
+        assert!(usage[1] > usage[0], "floater uses more tiles: {usage:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cameras_panic() {
+        let m = floater_scene();
+        let _ = compute_ce(&m, &[], &CeOptions::default());
+    }
+}

@@ -1,0 +1,325 @@
+//! Fine-tuning: Adam over opacity/SH-DC (image loss) and scales (WS loss).
+//!
+//! Implements the "Re-training with scale decay" box of Fig. 6 using the
+//! composite loss of Eqn. 6, `L = L_quality + γ·WS`. Opacities are
+//! parameterized through a sigmoid (logit space) as in 3DGS so they stay in
+//! `(0, 1)`; scales are updated in log space so they stay positive.
+
+use crate::ce::compute_tile_usage;
+use crate::grad::backward_mse;
+use crate::scale_decay::{weighted_scale, weighted_scale_grad, ScaleDecayOptions};
+use ms_math::{inverse_sigmoid, sigmoid};
+use ms_render::{Image, RenderOptions};
+use ms_scene::{Camera, GaussianModel};
+use serde::{Deserialize, Serialize};
+
+/// Fine-tuning hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// Number of optimization steps (one camera per step, round-robin).
+    pub iterations: usize,
+    /// Adam learning rate for opacity logits (3DGS uses 0.05).
+    pub lr_opacity: f32,
+    /// Adam learning rate for SH-DC coefficients (3DGS uses 0.0025 ×
+    /// feature scaling; ours is applied directly).
+    pub lr_dc: f32,
+    /// Adam learning rate for log-scales (driven by the WS gradient only).
+    pub lr_scale: f32,
+    /// Scale-decay options (`None` disables scale decay, as in the FR
+    /// level-training where scales are shared and frozen, §4.3).
+    pub scale_decay: Option<ScaleDecayOptions>,
+    /// Render options for forward/backward passes.
+    pub render: RenderOptions,
+    /// Recompute per-point tile usage every this many iterations (usage
+    /// drifts as scales shrink).
+    pub usage_refresh_interval: usize,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 30,
+            lr_opacity: 0.05,
+            lr_dc: 0.01,
+            lr_scale: 0.02,
+            scale_decay: Some(ScaleDecayOptions::default()),
+            render: RenderOptions::default(),
+            usage_refresh_interval: 10,
+        }
+    }
+}
+
+/// Summary of a fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneReport {
+    /// MSE after each iteration (against that iteration's reference view).
+    pub mse_history: Vec<f32>,
+    /// Weighted-Scale after each usage refresh.
+    pub ws_history: Vec<f32>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Adam state for one parameter vector.
+#[derive(Debug, Clone, Default)]
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl AdamState {
+    fn new(n: usize) -> Self {
+        Self { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// One Adam step over `params` given `grads`; standard β₁/β₂/ε.
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t);
+        let bc2 = 1.0 - B2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let mh = self.m[i] / bc1;
+            let vh = self.v[i] / bc2;
+            params[i] -= lr * mh / (vh.sqrt() + EPS);
+        }
+    }
+}
+
+/// The fine-tuner (owns optimizer state across iterations).
+#[derive(Debug)]
+pub struct FineTuner {
+    config: FineTuneConfig,
+    opacity_adam: AdamState,
+    dc_adam: AdamState,
+    scale_adam: AdamState,
+}
+
+impl FineTuner {
+    /// Create a fine-tuner for a model of `point_count` points.
+    pub fn new(config: FineTuneConfig, point_count: usize) -> Self {
+        Self {
+            opacity_adam: AdamState::new(point_count),
+            dc_adam: AdamState::new(point_count * 3),
+            scale_adam: AdamState::new(point_count * 3),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FineTuneConfig {
+        &self.config
+    }
+
+    /// Fine-tune `model` against per-camera `references`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cameras` and `references` lengths differ or are empty,
+    /// or when the tuner was constructed for a different point count.
+    pub fn run(
+        &mut self,
+        model: &mut GaussianModel,
+        cameras: &[Camera],
+        references: &[Image],
+    ) -> FineTuneReport {
+        assert_eq!(cameras.len(), references.len(), "camera/reference mismatch");
+        assert!(!cameras.is_empty(), "need at least one training view");
+        assert_eq!(self.opacity_adam.m.len(), model.len(), "tuner sized for different model");
+
+        let mut logits: Vec<f32> = model.opacities.iter().map(|&o| inverse_sigmoid(o)).collect();
+        let mut mse_history = Vec::with_capacity(self.config.iterations);
+        let mut ws_history = Vec::new();
+        let mut usage: Option<Vec<f32>> = None;
+
+        for it in 0..self.config.iterations {
+            // Refresh tile-usage statistics for scale decay.
+            if self.config.scale_decay.is_some()
+                && (it % self.config.usage_refresh_interval.max(1) == 0 || usage.is_none())
+            {
+                let u = compute_tile_usage(model, cameras, &self.config.render);
+                if let Some(sd) = &self.config.scale_decay {
+                    ws_history.push(weighted_scale(model, &u, sd));
+                }
+                usage = Some(u);
+            }
+
+            let cam_idx = it % cameras.len();
+            let (_, mse, grads) =
+                backward_mse(model, &cameras[cam_idx], &references[cam_idx], &self.config.render);
+            mse_history.push(mse);
+
+            // Opacity step in logit space: ∂L/∂logit = ∂L/∂p · p(1−p).
+            let logit_grads: Vec<f32> = grads
+                .d_opacity
+                .iter()
+                .zip(&model.opacities)
+                .map(|(&g, &p)| g * p * (1.0 - p))
+                .collect();
+            self.opacity_adam.step(&mut logits, &logit_grads, self.config.lr_opacity);
+            for (o, &l) in model.opacities.iter_mut().zip(&logits) {
+                *o = sigmoid(l);
+            }
+
+            // SH-DC step.
+            let mut dc_params = vec![0.0f32; model.len() * 3];
+            let stride = model.sh_stride();
+            for i in 0..model.len() {
+                dc_params[i * 3..i * 3 + 3]
+                    .copy_from_slice(&model.sh_coeffs[i * stride..i * stride + 3]);
+            }
+            let dc_grads: Vec<f32> = grads.d_dc.iter().flat_map(|g| g.iter().copied()).collect();
+            self.dc_adam.step(&mut dc_params, &dc_grads, self.config.lr_dc);
+            for i in 0..model.len() {
+                model.sh_coeffs[i * stride..i * stride + 3]
+                    .copy_from_slice(&dc_params[i * 3..i * 3 + 3]);
+            }
+
+            // Scale step from the WS regularizer (log-space).
+            if let (Some(sd), Some(u)) = (&self.config.scale_decay, &usage) {
+                let ws_grads = weighted_scale_grad(model, u, sd);
+                let mut log_scales = vec![0.0f32; model.len() * 3];
+                let mut grads_flat = vec![0.0f32; model.len() * 3];
+                for i in 0..model.len() {
+                    for a in 0..3 {
+                        log_scales[i * 3 + a] = model.scales[i][a].ln();
+                    }
+                    let (axis, g) = ws_grads[i];
+                    // d/d(log s) = g · s.
+                    grads_flat[i * 3 + axis] = g * model.scales[i][axis];
+                }
+                self.scale_adam.step(&mut log_scales, &grads_flat, self.config.lr_scale);
+                for i in 0..model.len() {
+                    for a in 0..3 {
+                        model.scales[i][a] = log_scales[i * 3 + a].exp().clamp(1e-6, 1e4);
+                    }
+                }
+            }
+        }
+
+        FineTuneReport {
+            mse_history,
+            ws_history,
+            iterations: self.config.iterations,
+        }
+    }
+}
+
+/// Convenience wrapper: construct a tuner and run it once.
+pub fn fine_tune(
+    model: &mut GaussianModel,
+    cameras: &[Camera],
+    references: &[Image],
+    config: FineTuneConfig,
+) -> FineTuneReport {
+    FineTuner::new(config, model.len()).run(model, cameras, references)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+    use ms_render::Renderer;
+
+    fn cam() -> Camera {
+        Camera::look_at(48, 48, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero())
+    }
+
+    fn scene_model() -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        m.push_solid(Vec3::new(-0.3, 0.0, 0.0), Vec3::splat(0.3), Quat::identity(), 0.6, Vec3::new(0.9, 0.2, 0.2));
+        m.push_solid(Vec3::new(0.4, 0.1, 0.2), Vec3::splat(0.35), Quat::identity(), 0.5, Vec3::new(0.2, 0.9, 0.3));
+        m.push_solid(Vec3::new(0.0, -0.3, -0.3), Vec3::splat(0.25), Quat::identity(), 0.7, Vec3::new(0.3, 0.3, 0.9));
+        m
+    }
+
+    #[test]
+    fn finetune_recovers_perturbed_opacities() {
+        let target = scene_model();
+        let camera = cam();
+        let reference = Renderer::default().render(&target, &camera).image;
+
+        let mut perturbed = target.clone();
+        perturbed.opacities = vec![0.3, 0.9, 0.4];
+        let mse_before = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+
+        let config = FineTuneConfig {
+            iterations: 60,
+            scale_decay: None,
+            ..FineTuneConfig::default()
+        };
+        let report = fine_tune(&mut perturbed, &[camera], &[reference.clone()], config);
+        let mse_after = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        assert!(
+            mse_after < mse_before * 0.3,
+            "fine-tuning should recover quality: {mse_before} → {mse_after}"
+        );
+        assert_eq!(report.iterations, 60);
+        assert_eq!(report.mse_history.len(), 60);
+    }
+
+    #[test]
+    fn finetune_recovers_perturbed_colors() {
+        let target = scene_model();
+        let camera = cam();
+        let reference = Renderer::default().render(&target, &camera).image;
+        let mut perturbed = target.clone();
+        for i in 0..perturbed.len() {
+            perturbed.sh_mut(i)[0] += 0.5; // red shift
+        }
+        let mse_before = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        let config = FineTuneConfig { iterations: 80, scale_decay: None, lr_dc: 0.05, ..FineTuneConfig::default() };
+        fine_tune(&mut perturbed, &[camera], &[reference.clone()], config);
+        let mse_after = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        assert!(mse_after < mse_before * 0.3, "{mse_before} → {mse_after}");
+    }
+
+    #[test]
+    fn scale_decay_shrinks_heavy_points() {
+        let mut m = scene_model();
+        // Make one point enormous so it intersects many tiles.
+        m.scales[0] = Vec3::splat(1.5);
+        let camera = cam();
+        let reference = Renderer::default().render(&m, &camera).image;
+        let extent_before = m.point_extent(0);
+        let config = FineTuneConfig {
+            iterations: 30,
+            scale_decay: Some(ScaleDecayOptions { usage_threshold: 2.0, gamma: 0.5 }),
+            lr_scale: 0.05,
+            ..FineTuneConfig::default()
+        };
+        fine_tune(&mut m, &[camera], &[reference], config);
+        let extent_after = m.point_extent(0);
+        assert!(
+            extent_after < extent_before,
+            "scale decay should shrink the heavy splat: {extent_before} → {extent_after}"
+        );
+    }
+
+    #[test]
+    fn opacities_stay_in_unit_interval() {
+        let mut m = scene_model();
+        let camera = cam();
+        let reference = Image::filled(48, 48, Vec3::one()); // force big gradients
+        let config = FineTuneConfig { iterations: 40, lr_opacity: 0.5, scale_decay: None, ..FineTuneConfig::default() };
+        fine_tune(&mut m, &[camera], &[reference], config);
+        for &o in &m.opacities {
+            assert!((0.0..=1.0).contains(&o), "opacity {o} escaped (0,1)");
+        }
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_references_panic() {
+        let mut m = scene_model();
+        let config = FineTuneConfig::default();
+        let _ = fine_tune(&mut m, &[cam()], &[], config);
+    }
+}

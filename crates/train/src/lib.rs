@@ -1,0 +1,49 @@
+//! Efficiency-aware pruning and training for MetaSapiens (paper §3).
+//!
+//! Existing PBNR pruning minimizes *point count*; the paper shows latency
+//! instead tracks *tile-ellipse intersections* (Fig. 4) and introduces:
+//!
+//! * **Computational Efficiency (CE)** pruning ([`ce`]): per-point
+//!   `CE = Val / Comp` where `Val` counts pixels the point dominates and
+//!   `Comp` counts tile intersections (Eqn. 3), aggregated by max over
+//!   training poses. Points with the lowest CE are pruned first.
+//! * **Scale decay** ([`scale_decay`]): the Weighted-Scale regularizer
+//!   `WS = 1/N Σ Sᵢ Gᵢ` with `Gᵢ = (Uᵢ > T)·(Uᵢ − T)` (Eqns. 4–5) added to
+//!   the training loss (Eqn. 6) to shrink large, frequently used ellipses.
+//! * **Analytic fine-tuning** ([`finetune`]): exact gradients of the volume
+//!   rendering equation for opacity and SH-DC, plus the WS gradient for
+//!   scales, driven by Adam — the re-training step of Fig. 6.
+//! * **The iterative prune→retrain pipeline** ([`pipeline`]): Fig. 6's
+//!   procedure — prune R% by CE until the quality loss crosses a threshold,
+//!   retrain with scale decay until it recovers, repeat.
+//!
+//! # Example
+//!
+//! ```
+//! use ms_scene::dataset::TraceId;
+//! use ms_train::ce::{compute_ce, CeAggregation, CeOptions};
+//!
+//! let scene = TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.005);
+//! let cams: Vec<_> = scene.train_cameras.iter().take(2)
+//!     .map(|c| ms_scene::Camera { width: 64, height: 48, ..*c })
+//!     .collect();
+//! let ce = compute_ce(&scene.model, &cams, &CeOptions {
+//!     aggregation: CeAggregation::Max, ..CeOptions::default()
+//! });
+//! assert_eq!(ce.len(), scene.model.len());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ce;
+pub mod finetune;
+pub mod grad;
+pub mod pipeline;
+pub mod prune;
+pub mod scale_decay;
+
+pub use ce::{compute_ce, CeAggregation, CeOptions};
+pub use finetune::{FineTuneConfig, FineTuneReport, FineTuner};
+pub use pipeline::{EfficientPruningConfig, PruningOutcome, QualityMetric};
+pub use prune::{prune_fraction, prune_lowest};
+pub use scale_decay::{weighted_scale, weighted_scale_grad, ScaleDecayOptions};

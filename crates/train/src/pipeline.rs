@@ -1,0 +1,289 @@
+//! The iterative prune → retrain procedure of Fig. 6.
+//!
+//! Given a dense model, repeatedly: compute CE, prune the lowest-CE `R`% of
+//! points, and whenever the quality loss `L_quality` crosses a prescribed
+//! threshold, re-train with the composite loss `L = L_quality + γ·WS`
+//! (Eqn. 6) until quality recovers. The loop "does not require
+//! quality-specific hyper-parameter tuning": controlling for `L_quality`
+//! automatically yields a model at a given quality.
+
+use crate::ce::{compute_ce, CeOptions};
+use crate::finetune::{FineTuneConfig, FineTuner};
+use crate::prune::prune_fraction;
+use ms_hvs::{DisplayGeometry, Hvsq, HvsqOptions};
+use ms_render::{Image, RenderOptions, Renderer};
+use ms_scene::{Camera, GaussianModel};
+use serde::{Deserialize, Serialize};
+
+/// The quality loss `L_quality` monitored by the loop.
+///
+/// "Note that L_quality is usually PSNR or SSIM but can be any other quality
+/// metric of interest" (§3.4); the FR training of §4.3 swaps in HVSQ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QualityMetric {
+    /// PSNR drop in dB relative to the dense reference renders.
+    PsnrDrop,
+    /// Raw MSE against the reference renders.
+    Mse,
+    /// Eccentricity-aware HVSQ (mean over evaluation views), optionally
+    /// restricted to an eccentricity band (degrees).
+    Hvsq {
+        /// Pooling options.
+        options: HvsqOptions,
+        /// Optional eccentricity band `[lo, hi)` in degrees.
+        band: Option<(f32, f32)>,
+    },
+}
+
+impl QualityMetric {
+    /// Evaluate the quality loss of `model` against per-camera reference
+    /// images (larger = worse).
+    pub fn evaluate(
+        &self,
+        model: &GaussianModel,
+        cameras: &[Camera],
+        references: &[Image],
+        render: &RenderOptions,
+    ) -> f32 {
+        assert_eq!(cameras.len(), references.len());
+        assert!(!cameras.is_empty());
+        let renderer = Renderer::new(render.clone());
+        let mut acc = 0.0f64;
+        for (cam, reference) in cameras.iter().zip(references) {
+            let out = renderer.render(model, cam);
+            let loss = match self {
+                QualityMetric::Mse => out.image.mse(reference),
+                QualityMetric::PsnrDrop => {
+                    let mse = out.image.mse(reference);
+                    // Drop relative to an ideal render of the reference by
+                    // itself (infinite PSNR): use the absolute PSNR deficit
+                    // from a high-quality anchor of 50 dB.
+                    let psnr = if mse <= 0.0 { 50.0 } else { (-10.0 * mse.log10()).min(50.0) };
+                    (50.0 - psnr).max(0.0)
+                }
+                QualityMetric::Hvsq { options, band } => {
+                    let display = DisplayGeometry::new(
+                        cam.width,
+                        cam.height,
+                        ms_math::rad_to_deg(cam.fovx()),
+                    );
+                    let hvsq = Hvsq::with_options(
+                        ms_hvs::EccentricityMap::centered(display),
+                        *options,
+                    );
+                    hvsq.evaluate(reference, &out.image, *band)
+                }
+            };
+            acc += loss as f64;
+        }
+        (acc / cameras.len() as f64) as f32
+    }
+}
+
+/// Configuration of the Fig. 6 loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficientPruningConfig {
+    /// Fraction pruned per outer iteration (`R`; paper uses 10%).
+    pub prune_rate: f32,
+    /// Quality-loss threshold that triggers retraining / stops pruning.
+    pub quality_threshold: f32,
+    /// Maximum number of prune steps.
+    pub max_iterations: usize,
+    /// Maximum retrain rounds per quality breach.
+    pub max_retrain_rounds: usize,
+    /// Fine-tuning configuration for each retrain round.
+    pub retrain: FineTuneConfig,
+    /// CE computation options.
+    pub ce: CeOptions,
+    /// Quality metric monitored as `L_quality`.
+    pub metric: QualityMetric,
+}
+
+impl Default for EfficientPruningConfig {
+    fn default() -> Self {
+        Self {
+            prune_rate: 0.10,
+            quality_threshold: 1e-3,
+            max_iterations: 8,
+            max_retrain_rounds: 2,
+            retrain: FineTuneConfig::default(),
+            ce: CeOptions::default(),
+            metric: QualityMetric::Mse,
+        }
+    }
+}
+
+/// One outer-loop record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Points remaining after this iteration.
+    pub points: usize,
+    /// Quality loss after this iteration (post-retrain if any).
+    pub quality_loss: f32,
+    /// Whether retraining ran this iteration.
+    pub retrained: bool,
+}
+
+/// Result of the pruning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruningOutcome {
+    /// The pruned (and re-trained) model.
+    pub model: GaussianModel,
+    /// Per-iteration history.
+    pub history: Vec<IterationRecord>,
+    /// Quality loss of the final model.
+    pub final_quality_loss: f32,
+}
+
+/// Run the iterative prune → retrain loop of Fig. 6.
+///
+/// `references` are ground-truth renders of the *dense* model from
+/// `cameras` (the quality anchor).
+///
+/// # Panics
+///
+/// Panics when camera/reference lengths mismatch or are empty.
+pub fn prune_efficiently(
+    dense: &GaussianModel,
+    cameras: &[Camera],
+    references: &[Image],
+    config: &EfficientPruningConfig,
+) -> PruningOutcome {
+    assert_eq!(cameras.len(), references.len());
+    assert!(!cameras.is_empty());
+    let mut model = dense.clone();
+    let mut history = Vec::new();
+
+    for _ in 0..config.max_iterations {
+        if model.len() < 8 {
+            break; // nothing meaningful left to prune
+        }
+        // Prune R% of the lowest-CE points.
+        let ce = compute_ce(&model, cameras, &config.ce);
+        let (pruned, _) = prune_fraction(&model, &ce, config.prune_rate);
+        model = pruned;
+
+        // Check quality; retrain while the threshold is breached.
+        let mut quality =
+            config.metric.evaluate(&model, cameras, references, &config.ce.render);
+        let mut retrained = false;
+        let mut rounds = 0;
+        while quality > config.quality_threshold && rounds < config.max_retrain_rounds {
+            let mut tuner = FineTuner::new(config.retrain.clone(), model.len());
+            tuner.run(&mut model, cameras, references);
+            quality = config.metric.evaluate(&model, cameras, references, &config.ce.render);
+            retrained = true;
+            rounds += 1;
+        }
+        history.push(IterationRecord {
+            points: model.len(),
+            quality_loss: quality,
+            retrained,
+        });
+    }
+
+    let final_quality_loss =
+        config.metric.evaluate(&model, cameras, references, &config.ce.render);
+    PruningOutcome { model, history, final_quality_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_scene::dataset::TraceId;
+    use ms_scene::Camera;
+
+    /// Small scene + shrunken cameras so the loop runs quickly.
+    fn setup() -> (GaussianModel, Vec<Camera>, Vec<Image>) {
+        let scene = TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.004);
+        let cameras: Vec<Camera> = scene
+            .train_cameras
+            .iter()
+            .step_by(8)
+            .take(3)
+            .map(|c| Camera { width: 80, height: 60, ..*c })
+            .collect();
+        let renderer = Renderer::default();
+        let references: Vec<Image> = cameras
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
+        (scene.model, cameras, references)
+    }
+
+    #[test]
+    fn pruning_reduces_points_and_intersections() {
+        let (dense, cameras, references) = setup();
+        let config = EfficientPruningConfig {
+            max_iterations: 3,
+            quality_threshold: 1e9, // never retrain in this test
+            ..EfficientPruningConfig::default()
+        };
+        let outcome = prune_efficiently(&dense, &cameras, &references, &config);
+        assert!(outcome.model.len() < dense.len());
+        // Intersections should drop with the pruned points.
+        let renderer = Renderer::default();
+        let before = renderer.render(&dense, &cameras[0]).stats.total_intersections;
+        let after = renderer.render(&outcome.model, &cameras[0]).stats.total_intersections;
+        assert!(after < before, "intersections {before} → {after}");
+        assert_eq!(outcome.history.len(), 3);
+    }
+
+    #[test]
+    fn pruning_preserves_quality_better_than_random() {
+        let (dense, cameras, references) = setup();
+        let config = EfficientPruningConfig {
+            max_iterations: 4,
+            quality_threshold: 1e9,
+            ..EfficientPruningConfig::default()
+        };
+        let outcome = prune_efficiently(&dense, &cameras, &references, &config);
+
+        // Random pruning to the same point count.
+        let target = outcome.model.len();
+        let keep: Vec<usize> = (0..dense.len()).step_by(dense.len().div_ceil(target)).collect();
+        let random = dense.subset(&keep[..target.min(keep.len())]);
+
+        let m = QualityMetric::Mse;
+        let q_ce = m.evaluate(&outcome.model, &cameras, &references, &RenderOptions::default());
+        let q_rand = m.evaluate(&random, &cameras, &references, &RenderOptions::default());
+        assert!(
+            q_ce < q_rand,
+            "CE pruning (mse {q_ce}) should beat count-matched arbitrary pruning (mse {q_rand})"
+        );
+    }
+
+    #[test]
+    fn retraining_triggers_when_quality_breached() {
+        let (dense, cameras, references) = setup();
+        let config = EfficientPruningConfig {
+            max_iterations: 2,
+            quality_threshold: 1e-7, // impossible: always retrain
+            max_retrain_rounds: 1,
+            retrain: FineTuneConfig { iterations: 3, ..FineTuneConfig::default() },
+            ..EfficientPruningConfig::default()
+        };
+        let outcome = prune_efficiently(&dense, &cameras, &references, &config);
+        assert!(outcome.history.iter().any(|r| r.retrained));
+    }
+
+    #[test]
+    fn psnr_drop_metric_monotone_in_damage() {
+        let (dense, cameras, references) = setup();
+        let metric = QualityMetric::PsnrDrop;
+        let q_dense = metric.evaluate(&dense, &cameras, &references, &RenderOptions::default());
+        // Heavily damaged model: drop half the points arbitrarily.
+        let keep: Vec<usize> = (0..dense.len()).filter(|i| i % 2 == 0).collect();
+        let damaged = dense.subset(&keep);
+        let q_damaged = metric.evaluate(&damaged, &cameras, &references, &RenderOptions::default());
+        assert!(q_damaged > q_dense);
+    }
+
+    #[test]
+    fn hvsq_metric_evaluates() {
+        let (dense, cameras, references) = setup();
+        let metric = QualityMetric::Hvsq { options: HvsqOptions { stride: 4, ..HvsqOptions::default() }, band: None };
+        let q = metric.evaluate(&dense, &cameras, &references, &RenderOptions::default());
+        assert!(q.abs() < 1e-9, "dense model against its own renders ≈ 0, got {q}");
+    }
+}

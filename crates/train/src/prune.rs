@@ -1,0 +1,132 @@
+//! Pruning primitives.
+
+use ms_scene::GaussianModel;
+
+/// Remove the `count` points with the lowest scores. Returns the pruned
+/// model and the kept indices (into the input model).
+///
+/// Ties are broken by index for determinism.
+///
+/// # Panics
+///
+/// Panics when `scores.len() != model.len()`.
+pub fn prune_lowest(model: &GaussianModel, scores: &[f32], count: usize) -> (GaussianModel, Vec<usize>) {
+    assert_eq!(scores.len(), model.len(), "score length mismatch");
+    let count = count.min(model.len());
+    let mut order: Vec<usize> = (0..model.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = order[count..].to_vec();
+    kept.sort_unstable();
+    (model.subset(&kept), kept)
+}
+
+/// Remove a fraction `rate ∈ [0, 1]` of the lowest-scoring points
+/// (the paper prunes `R = 10%` per outer iteration).
+///
+/// # Panics
+///
+/// Panics when `rate` is outside `[0, 1]` or on score length mismatch.
+pub fn prune_fraction(
+    model: &GaussianModel,
+    scores: &[f32],
+    rate: f32,
+) -> (GaussianModel, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+    let count = (model.len() as f32 * rate).round() as usize;
+    prune_lowest(model, scores, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+    use proptest::prelude::*;
+
+    fn model_of(n: usize) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        for i in 0..n {
+            m.push_solid(
+                Vec3::new(i as f32, 0.0, 0.0),
+                Vec3::splat(0.1),
+                Quat::identity(),
+                0.5,
+                Vec3::one(),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn prunes_lowest_scores() {
+        let m = model_of(5);
+        let scores = [3.0, 0.5, 2.0, 0.1, 9.0];
+        let (pruned, kept) = prune_lowest(&m, &scores, 2);
+        assert_eq!(kept, vec![0, 2, 4]);
+        assert_eq!(pruned.len(), 3);
+        assert_eq!(pruned.positions[0].x, 0.0);
+        assert_eq!(pruned.positions[2].x, 4.0);
+    }
+
+    #[test]
+    fn prune_count_clamped() {
+        let m = model_of(3);
+        let (pruned, kept) = prune_lowest(&m, &[1.0, 2.0, 3.0], 10);
+        assert_eq!(pruned.len(), 0);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn prune_zero_is_identity() {
+        let m = model_of(4);
+        let (pruned, kept) = prune_fraction(&m, &[1.0, 2.0, 3.0, 4.0], 0.0);
+        assert_eq!(pruned, m);
+        assert_eq!(kept, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let m = model_of(4);
+        let (_, kept) = prune_lowest(&m, &[1.0, 1.0, 1.0, 1.0], 2);
+        // Lowest indices pruned first on ties.
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn score_length_mismatch_panics() {
+        let m = model_of(3);
+        let _ = prune_lowest(&m, &[1.0], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn kept_scores_dominate_pruned(
+            scores in proptest::collection::vec(0.0f32..10.0, 2..40),
+            rate in 0.0f32..1.0,
+        ) {
+            let m = model_of(scores.len());
+            let (_, kept) = prune_fraction(&m, &scores, rate);
+            let kept_set: std::collections::HashSet<usize> = kept.iter().copied().collect();
+            let max_pruned = (0..scores.len())
+                .filter(|i| !kept_set.contains(i))
+                .map(|i| scores[i])
+                .fold(f32::NEG_INFINITY, f32::max);
+            let min_kept = kept.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+            prop_assert!(kept.is_empty() || max_pruned <= min_kept + 1e-6);
+        }
+
+        #[test]
+        fn prune_fraction_count(n in 1usize..50, rate in 0.0f32..1.0) {
+            let m = model_of(n);
+            let scores: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let (pruned, _) = prune_fraction(&m, &scores, rate);
+            let expected_removed = (n as f32 * rate).round() as usize;
+            prop_assert_eq!(pruned.len(), n - expected_removed.min(n));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Scale decay: the Weighted-Scale (WS) regularizer (Eqns. 4–6).
+//!
+//! `WS = 1/N Σᵢ Sᵢ Gᵢ` where `Sᵢ` is the point's largest ellipse span and
+//! `Gᵢ = (Uᵢ > T)·(Uᵢ − T)` gates on how many tiles the point is used in.
+//! Adding `γ·WS` to the training loss shrinks exactly the ellipses that are
+//! both large **and** frequently used — the ones that generate tile-ellipse
+//! intersections — while leaving small or rarely-used points alone.
+
+use ms_scene::GaussianModel;
+use serde::{Deserialize, Serialize};
+
+/// Scale-decay parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleDecayOptions {
+    /// Tile-usage threshold `T` of Eqn. 5: points used by fewer tiles do
+    /// not participate.
+    pub usage_threshold: f32,
+    /// Loss weight `γ` of Eqn. 6.
+    pub gamma: f32,
+}
+
+impl Default for ScaleDecayOptions {
+    fn default() -> Self {
+        Self { usage_threshold: 4.0, gamma: 1e-3 }
+    }
+}
+
+/// The gate `Gᵢ` of Eqn. 5.
+#[inline]
+fn gate(usage: f32, threshold: f32) -> f32 {
+    if usage > threshold {
+        usage - threshold
+    } else {
+        0.0
+    }
+}
+
+/// The Weighted Scale of a model given per-point tile usage `Uᵢ`
+/// (see [`crate::ce::compute_tile_usage`]).
+///
+/// # Panics
+///
+/// Panics when `usage.len() != model.len()`.
+pub fn weighted_scale(model: &GaussianModel, usage: &[f32], options: &ScaleDecayOptions) -> f32 {
+    assert_eq!(usage.len(), model.len(), "usage length mismatch");
+    if model.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for i in 0..model.len() {
+        acc += (model.point_extent(i) * gate(usage[i], options.usage_threshold)) as f64;
+    }
+    (acc / model.len() as f64) as f32
+}
+
+/// Gradient of `γ·WS` with respect to each point's **dominant scale axis**.
+///
+/// `Sᵢ = 3·max_axis(scaleᵢ)`, so `∂(γ·WS)/∂max_axisᵢ = 3γ·Gᵢ/N`; the other
+/// two axes receive zero gradient. Returns per-point `(axis, grad)` where
+/// `axis ∈ {0,1,2}` indexes the dominant scale component.
+///
+/// # Panics
+///
+/// Panics when `usage.len() != model.len()`.
+pub fn weighted_scale_grad(
+    model: &GaussianModel,
+    usage: &[f32],
+    options: &ScaleDecayOptions,
+) -> Vec<(usize, f32)> {
+    assert_eq!(usage.len(), model.len(), "usage length mismatch");
+    let n = model.len().max(1) as f32;
+    (0..model.len())
+        .map(|i| {
+            let s = model.scales[i];
+            let axis = if s.x >= s.y && s.x >= s.z {
+                0
+            } else if s.y >= s.z {
+                1
+            } else {
+                2
+            };
+            let g = gate(usage[i], options.usage_threshold);
+            (axis, 3.0 * options.gamma * g / n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+    use proptest::prelude::*;
+
+    fn model_with_scales(scales: &[Vec3]) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        for &s in scales {
+            m.push_solid(Vec3::zero(), s, Quat::identity(), 0.9, Vec3::one());
+        }
+        m
+    }
+
+    #[test]
+    fn ws_zero_when_usage_below_threshold() {
+        let m = model_with_scales(&[Vec3::splat(1.0), Vec3::splat(2.0)]);
+        let opts = ScaleDecayOptions { usage_threshold: 10.0, gamma: 1.0 };
+        assert_eq!(weighted_scale(&m, &[5.0, 9.9], &opts), 0.0);
+    }
+
+    #[test]
+    fn ws_weights_by_excess_usage() {
+        let m = model_with_scales(&[Vec3::splat(1.0)]);
+        let opts = ScaleDecayOptions { usage_threshold: 4.0, gamma: 1.0 };
+        // S = 3.0 (3 × max axis), G = 10 − 4 = 6 → WS = 18.
+        let ws = weighted_scale(&m, &[10.0], &opts);
+        assert!((ws - 18.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ws_is_mean_over_all_points() {
+        // The unused point still divides the sum (1/N over all N).
+        let m = model_with_scales(&[Vec3::splat(1.0), Vec3::splat(5.0)]);
+        let opts = ScaleDecayOptions { usage_threshold: 0.0, gamma: 1.0 };
+        let ws = weighted_scale(&m, &[2.0, 0.0], &opts);
+        assert!((ws - 3.0).abs() < 1e-5); // (3·2 + 0)/2
+    }
+
+    #[test]
+    fn grad_targets_dominant_axis() {
+        let m = model_with_scales(&[Vec3::new(0.1, 0.5, 0.2)]);
+        let opts = ScaleDecayOptions { usage_threshold: 0.0, gamma: 1.0 };
+        let g = weighted_scale_grad(&m, &[8.0], &opts);
+        assert_eq!(g[0].0, 1, "y is dominant");
+        assert!((g[0].1 - 24.0).abs() < 1e-4); // 3·γ·8/1
+    }
+
+    #[test]
+    fn grad_zero_for_rarely_used_points() {
+        let m = model_with_scales(&[Vec3::splat(2.0)]);
+        let opts = ScaleDecayOptions::default();
+        let g = weighted_scale_grad(&m, &[1.0], &opts);
+        assert_eq!(g[0].1, 0.0);
+    }
+
+    #[test]
+    fn empty_model_is_zero() {
+        let m = GaussianModel::new(0);
+        assert_eq!(weighted_scale(&m, &[], &ScaleDecayOptions::default()), 0.0);
+    }
+
+    proptest! {
+        /// Finite-difference check: WS gradient matches numeric derivative.
+        #[test]
+        fn grad_matches_finite_difference(
+            sx in 0.05f32..2.0, sy in 0.05f32..2.0, sz in 0.05f32..2.0,
+            usage in 0.0f32..30.0,
+        ) {
+            let opts = ScaleDecayOptions { usage_threshold: 4.0, gamma: 1.0 };
+            let m = model_with_scales(&[Vec3::new(sx, sy, sz)]);
+            let g = weighted_scale_grad(&m, &[usage], &opts);
+            let (axis, grad) = g[0];
+            // Perturb the dominant axis.
+            let eps = 1e-3;
+            let mut m2 = m.clone();
+            m2.scales[0][axis] += eps;
+            // Skip cases where the dominant axis changes under perturbation.
+            let dominant_unchanged = {
+                let s = m2.scales[0];
+                let new_axis = if s.x >= s.y && s.x >= s.z { 0 } else if s.y >= s.z { 1 } else { 2 };
+                new_axis == axis
+            };
+            prop_assume!(dominant_unchanged);
+            let ws0 = weighted_scale(&m, &[usage], &opts);
+            let ws1 = weighted_scale(&m2, &[usage], &opts);
+            let fd = (ws1 - ws0) / eps;
+            prop_assert!(
+                (fd - grad).abs() < 1e-2 + 1e-3 * grad.abs(),
+                "fd {fd} vs grad {grad}"
+            );
+        }
+
+        /// Shrinking any scale never increases WS.
+        #[test]
+        fn ws_monotone_in_scale(
+            s in 0.1f32..3.0, shrink in 0.1f32..0.99, usage in 0.0f32..30.0,
+        ) {
+            let opts = ScaleDecayOptions::default();
+            let big = model_with_scales(&[Vec3::splat(s)]);
+            let small = model_with_scales(&[Vec3::splat(s * shrink)]);
+            prop_assert!(
+                weighted_scale(&small, &[usage], &opts)
+                    <= weighted_scale(&big, &[usage], &opts) + 1e-6
+            );
+        }
+    }
+}

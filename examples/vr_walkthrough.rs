@@ -1,0 +1,77 @@
+//! VR walkthrough: densify a camera trajectory to 90 FPS (as the paper does
+//! in §6), sweep a moving gaze across the display, and check whether the
+//! modeled mobile-GPU frame rate sustains the VR target.
+//!
+//! Run with: `cargo run --release --example vr_walkthrough`
+
+use metasapiens::eval::{foveated_workload, ScaleFactors};
+use metasapiens::fov::FoveatedRenderer;
+use metasapiens::gpu::GpuCostModel;
+use metasapiens::math::Vec2;
+use metasapiens::pipeline::{build_system, BuildConfig, Variant};
+use metasapiens::render::RenderOptions;
+use metasapiens::scene::dataset::TraceId;
+use metasapiens::scene::trajectory::orbit;
+use metasapiens::scene::Camera;
+
+fn main() {
+    const SCENE_SCALE: f32 = 0.008;
+    const FRAMES: usize = 24; // a slice of the 1,440-pose trace
+    let trace = TraceId::by_name("garden").expect("trace exists");
+    println!("== VR walkthrough on {trace} ({FRAMES} frames of a 90 FPS trace) ==");
+    let scene = trace.build_scene_with_scale(SCENE_SCALE);
+
+    let system = build_system(&scene, &BuildConfig::new(Variant::M));
+    println!(
+        "{} built: levels {:?}",
+        system.variant,
+        system.fov.level_point_counts()
+    );
+
+    // Densified poses, VR-like wide-FOV camera.
+    let proto = Camera {
+        width: 192,
+        height: 144,
+        fovy: metasapiens::math::deg_to_rad(74.0),
+        ..scene.train_cameras[0]
+    };
+    let radius = scene.spec.radius;
+    let traj = orbit(
+        metasapiens::math::Vec3::new(0.0, radius * 0.05, 0.0),
+        radius * 0.85,
+        radius * 0.4,
+        8,
+    );
+    let cameras = traj.cameras(&proto, FRAMES);
+
+    let renderer = FoveatedRenderer::new(RenderOptions::default());
+    let gpu = GpuCostModel::xavier();
+    let scale = ScaleFactors::for_experiment(SCENE_SCALE as f64, proto.width, proto.height);
+
+    let mut fps_log = Vec::with_capacity(FRAMES);
+    for (i, cam) in cameras.iter().enumerate() {
+        // Saccade the gaze along a Lissajous path across the display.
+        let t = i as f32 / FRAMES as f32;
+        let gaze = Vec2::new(
+            proto.width as f32 * (0.5 + 0.3 * (t * std::f32::consts::TAU).sin()),
+            proto.height as f32 * (0.5 + 0.25 * (2.0 * t * std::f32::consts::TAU).cos()),
+        );
+        let out = renderer.render(&system.fov, cam, Some(gaze));
+        let fps = gpu.fps(&foveated_workload(&out, scale));
+        fps_log.push(fps as f32);
+        if i % 6 == 0 {
+            println!(
+                "frame {i:>3}: gaze=({:>5.0},{:>5.0})  intersections={:>8}  blended px={:>6}  modeled FPS={fps:>7.1}",
+                gaze.x, gaze.y, out.stats.total_intersections, out.blended_pixels
+            );
+        }
+    }
+
+    let mean = metasapiens::math::stats::mean(&fps_log);
+    let p1 = metasapiens::math::stats::percentile(&fps_log, 1.0);
+    println!("\nmodeled FPS over the walkthrough: mean {mean:.1}, 1st percentile {p1:.1}");
+    println!(
+        "VR target 90 FPS sustained: {}",
+        if p1 >= 90.0 { "YES" } else { "no (reduced-scale extrapolation)" }
+    );
+}

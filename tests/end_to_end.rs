@@ -1,0 +1,142 @@
+//! End-to-end integration tests: dense scene → pruned L1 → foveated
+//! hierarchy → renders → GPU model → accelerator, crossing every crate.
+
+use metasapiens::accel::{simulate, AccelConfig, AccelWorkload};
+use metasapiens::eval::{evaluate_foveated, evaluate_model, ScaleFactors};
+use metasapiens::fov::FoveatedRenderer;
+use metasapiens::gpu::{FrameWorkload, GpuCostModel};
+use metasapiens::pipeline::{build_system, BuildConfig, Variant};
+use metasapiens::render::{RenderOptions, Renderer};
+use metasapiens::scene::dataset::TraceId;
+use metasapiens::scene::Camera;
+
+fn test_scene() -> metasapiens::scene::synth::Scene {
+    TraceId::by_name("room").unwrap().build_scene_with_scale(0.004)
+}
+
+#[test]
+fn full_pipeline_h_variant() {
+    let scene = test_scene();
+    let system = build_system(&scene, &BuildConfig::fast_for_tests(Variant::H));
+
+    // L1 hits the variant's size target.
+    let frac = system.l1.len() as f32 / scene.model.len() as f32;
+    assert!((frac - 0.16).abs() < 0.03, "L1 fraction {frac}");
+
+    // The hierarchy respects the subset invariant and shrinks monotonically.
+    let counts = system.fov.level_point_counts();
+    assert_eq!(counts.len(), 4);
+    for w in counts.windows(2) {
+        assert!(w[1] <= w[0], "levels must shrink: {counts:?}");
+    }
+
+    // Foveated rendering is cheaper than dense rendering and keeps quality.
+    let cams = system.train_cameras.clone();
+    let refs = system.references.clone();
+    let dense = evaluate_model(&scene.model, &RenderOptions::default(), &cams, &refs, ScaleFactors::identity());
+    let ours = evaluate_foveated(&system.fov, &RenderOptions::default(), &cams, &refs, ScaleFactors::identity());
+    assert!(ours.fps > dense.fps, "ours {} dense {}", ours.fps, dense.fps);
+    assert!(ours.psnr_db > 18.0, "quality collapsed: {} dB", ours.psnr_db);
+}
+
+#[test]
+fn gpu_and_accelerator_agree_on_ordering() {
+    // Any workload ordering the GPU model produces (bigger = slower) must
+    // be preserved by the accelerator simulator.
+    let scene = test_scene();
+    let system = build_system(&scene, &BuildConfig::fast_for_tests(Variant::L));
+    let cam = &system.train_cameras[0];
+
+    let renderer = Renderer::default();
+    let dense_out = renderer.render(&scene.model, cam);
+    let l1_out = renderer.render(&system.l1, cam);
+
+    let gpu = GpuCostModel::xavier();
+    let dense_gpu = gpu.frame_latency(&FrameWorkload::from_stats(&dense_out.stats, false));
+    let l1_gpu = gpu.frame_latency(&FrameWorkload::from_stats(&l1_out.stats, false));
+    assert!(l1_gpu < dense_gpu);
+
+    let config = AccelConfig::metasapiens_tm_ip();
+    let dense_acc = simulate(
+        &AccelWorkload::from_stats(&dense_out.stats, None, 0, scene.model.storage_bytes() as u64),
+        &config,
+    );
+    let l1_acc = simulate(
+        &AccelWorkload::from_stats(&l1_out.stats, None, 0, system.l1.storage_bytes() as u64),
+        &config,
+    );
+    assert!(l1_acc.cycles < dense_acc.cycles);
+
+    // The accelerator is much faster than the modeled GPU on either frame.
+    assert!(dense_acc.latency_s < dense_gpu, "accel should beat the mobile GPU");
+}
+
+#[test]
+fn accelerator_tm_ip_ladder_on_real_fov_frame() {
+    // Fig. 14's ladder: Base ≤ TM ≤ TM+IP on a real foveated frame.
+    let scene = test_scene();
+    let system = build_system(&scene, &BuildConfig::fast_for_tests(Variant::H));
+    let cam = Camera {
+        width: 160,
+        height: 120,
+        fovy: metasapiens::math::deg_to_rad(74.0),
+        ..system.train_cameras[0]
+    };
+    let fr = FoveatedRenderer::new(RenderOptions::default());
+    let frame = fr.render(&system.fov, &cam, None);
+    let workload = AccelWorkload::from_stats(
+        &frame.stats,
+        Some(&frame.tile_level),
+        frame.blended_pixels as u64,
+        system.fov.storage_bytes() as u64,
+    );
+    let base = simulate(&workload, &AccelConfig::metasapiens_base()).cycles;
+    let tm = simulate(&workload, &AccelConfig::metasapiens_tm()).cycles;
+    let tm_ip = simulate(&workload, &AccelConfig::metasapiens_tm_ip()).cycles;
+    assert!(tm <= base, "TM should not slow things down: {tm} vs {base}");
+    assert!(tm_ip <= tm, "IP should stack: {tm_ip} vs {tm}");
+    assert!(tm_ip < base, "the full design must strictly win: {tm_ip} vs {base}");
+}
+
+#[test]
+fn variants_form_a_speed_quality_ladder() {
+    let scene = test_scene();
+    let mut fps = Vec::new();
+    let mut psnr = Vec::new();
+    for v in Variant::ALL {
+        let system = build_system(&scene, &BuildConfig::fast_for_tests(v));
+        let m = evaluate_foveated(
+            &system.fov,
+            &RenderOptions::default(),
+            &system.train_cameras,
+            &system.references,
+            ScaleFactors::identity(),
+        );
+        fps.push(m.fps);
+        psnr.push(m.psnr_db);
+    }
+    // H → M → L: speed up.
+    assert!(fps[2] > fps[0], "L should out-run H: {fps:?}");
+    // Quality must not be catastrophically lost anywhere.
+    for (i, &p) in psnr.iter().enumerate() {
+        assert!(p > 15.0, "variant {i} PSNR {p}");
+    }
+}
+
+#[test]
+fn moving_gaze_stays_functional() {
+    let scene = test_scene();
+    let system = build_system(&scene, &BuildConfig::fast_for_tests(Variant::H));
+    let cam = Camera {
+        width: 128,
+        height: 96,
+        fovy: metasapiens::math::deg_to_rad(74.0),
+        ..system.train_cameras[0]
+    };
+    let fr = FoveatedRenderer::new(RenderOptions::default());
+    for (gx, gy) in [(10.0, 10.0), (64.0, 48.0), (120.0, 90.0)] {
+        let out = fr.render(&system.fov, &cam, Some(metasapiens::math::Vec2::new(gx, gy)));
+        assert_eq!(out.image.width(), 128);
+        assert!(out.stats.total_intersections > 0);
+    }
+}
