@@ -167,9 +167,15 @@ mod tests {
     #[test]
     fn paper_areas_are_reproduced() {
         let ours = AccelConfig::metasapiens_tm_ip().area_mm2();
-        assert!((ours - 2.73).abs() < 0.35, "MetaSapiens area {ours} vs paper 2.73 mm²");
+        assert!(
+            (ours - 2.73).abs() < 0.35,
+            "MetaSapiens area {ours} vs paper 2.73 mm²"
+        );
         let gscore = AccelConfig::gscore().area_mm2();
-        assert!((gscore - 1.45).abs() < 0.35, "GSCore area {gscore} vs paper 1.45 mm²");
+        assert!(
+            (gscore - 1.45).abs() < 0.35,
+            "GSCore area {gscore} vs paper 1.45 mm²"
+        );
         assert!(ours > gscore);
     }
 
@@ -177,7 +183,10 @@ mod tests {
     fn vrc_array_dominates_area() {
         let c = AccelConfig::metasapiens_tm_ip();
         let vrc_share = c.vrc_count as f32 * 7.0e-3 / c.area_mm2();
-        assert!((0.5..0.75).contains(&vrc_share), "VRC share {vrc_share} (paper: 63%)");
+        assert!(
+            (0.5..0.75).contains(&vrc_share),
+            "VRC share {vrc_share} (paper: 63%)"
+        );
     }
 
     #[test]

@@ -93,7 +93,12 @@ impl EnergyModel {
 
         let dram_j = self.e_dram_pj_b * workload.model_bytes as f64 * 1e-12;
         let static_j = self.static_w * sim.latency_s;
-        EnergyReport { compute_j, sram_j, dram_j, static_j }
+        EnergyReport {
+            compute_j,
+            sram_j,
+            dram_j,
+            static_j,
+        }
     }
 }
 

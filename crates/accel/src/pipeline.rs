@@ -80,16 +80,25 @@ fn merge_tiles(workload: &AccelWorkload, config: &AccelConfig) -> Vec<Slot> {
             acc_isect += t.intersections as u64;
             acc_raster += r;
             if acc_isect >= config.tile_merge_beta as u64 {
-                slots.push(Slot { intersections: acc_isect, raster: acc_raster });
+                slots.push(Slot {
+                    intersections: acc_isect,
+                    raster: acc_raster,
+                });
                 acc_isect = 0;
                 acc_raster = 0;
             }
         } else {
-            slots.push(Slot { intersections: t.intersections as u64, raster: r });
+            slots.push(Slot {
+                intersections: t.intersections as u64,
+                raster: r,
+            });
         }
     }
     if acc_isect > 0 {
-        slots.push(Slot { intersections: acc_isect, raster: acc_raster });
+        slots.push(Slot {
+            intersections: acc_isect,
+            raster: acc_raster,
+        });
     }
     slots
 }
@@ -122,7 +131,7 @@ pub fn simulate(workload: &AccelWorkload, config: &AccelConfig) -> SimReport {
             sort_end
         };
         let raster_start = ready.max(raster_end);
-        raster_stall += raster_start.saturating_sub(raster_end.max(0));
+        raster_stall += raster_start.saturating_sub(raster_end);
         let mut end = raster_start + r;
         if config.incremental_pipelining {
             // The rasterizer cannot finish before the sorter has delivered
@@ -135,7 +144,9 @@ pub fn simulate(workload: &AccelWorkload, config: &AccelConfig) -> SimReport {
 
     // FR blending pass: one cycle per blended pixel through the blend unit
     // (overlapped with the tail of rasterization; charged at the end).
-    let blend_tail = workload.blended_pixels.div_ceil(config.vrc_count.max(1) as u64);
+    let blend_tail = workload
+        .blended_pixels
+        .div_ceil(config.vrc_count.max(1) as u64);
     // DRAM floor: the packed model must stream in; bytes/cycle at the
     // configured clock.
     let bytes_per_cycle = (config.dram_gbps / config.clock_ghz).max(1e-9);
@@ -173,7 +184,11 @@ mod tests {
         AccelWorkload {
             tiles: intersections
                 .into_iter()
-                .map(|n| TileWork { intersections: n, pixels: 256, level: 0 })
+                .map(|n| TileWork {
+                    intersections: n,
+                    pixels: 256,
+                    level: 0,
+                })
                 .collect(),
             points_projected: 1_000,
             blend_steps: 0,
@@ -188,7 +203,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let mut tiles = Vec::new();
         for i in 0..400 {
-            let n = if i % 40 < 4 { rng.gen_range(800..2_500) } else { rng.gen_range(0..30) };
+            let n = if i % 40 < 4 {
+                rng.gen_range(800..2_500)
+            } else {
+                rng.gen_range(0..30)
+            };
             tiles.push(n);
         }
         workload_from(tiles)
@@ -248,7 +267,10 @@ mod tests {
         let base = simulate(&w, &AccelConfig::metasapiens_base());
         let tm = simulate(&w, &AccelConfig::metasapiens_tm());
         let gain = base.cycles as f64 / tm.cycles as f64;
-        assert!(gain < 1.15, "balanced frames shouldn't benefit much: gain {gain}");
+        assert!(
+            gain < 1.15,
+            "balanced frames shouldn't benefit much: gain {gain}"
+        );
     }
 
     #[test]

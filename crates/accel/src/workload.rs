@@ -32,7 +32,16 @@ pub struct AccelWorkload {
 }
 
 impl AccelWorkload {
-    /// Build from render statistics.
+    /// Build from render statistics — the *only* workload source.
+    ///
+    /// Every field is copied from what the renderer's staged pipeline
+    /// measured, never re-derived: per-tile intersections are the CSR
+    /// offset deltas carried in `stats.tile_intersections`, per-tile pixel
+    /// counts come from the tile grid clipped to the image
+    /// (`TileGridDims::tile_pixel_count`, so edge tiles are not padded to
+    /// `tile_size²`), projection work is the Project stage's counter and
+    /// compositing work the Raster stage's. The simulator and the software
+    /// renderer therefore agree on the frame workload by construction.
     ///
     /// `tile_level` optionally assigns a foveation level per tile
     /// (from `ms-fov`'s `FovRenderOutput::tile_level`); `model_bytes` is
@@ -48,17 +57,24 @@ impl AccelWorkload {
         model_bytes: u64,
     ) -> Self {
         if let Some(levels) = tile_level {
-            assert_eq!(levels.len(), stats.tile_intersections.len(), "tile level map mismatch");
+            assert_eq!(
+                levels.len(),
+                stats.tile_intersections.len(),
+                "tile level map mismatch"
+            );
         }
         let g = stats.grid;
         let tiles = stats
             .tile_intersections
             .iter()
             .enumerate()
-            .map(|(i, &n)| TileWork {
-                intersections: n,
-                pixels: g.tile_size * g.tile_size,
-                level: tile_level.map(|l| l[i]).unwrap_or(0),
+            .map(|(i, &n)| {
+                let (tx, ty) = g.tile_coords(i);
+                TileWork {
+                    intersections: n,
+                    pixels: g.tile_pixel_count(tx, ty),
+                    level: tile_level.map(|l| l[i]).unwrap_or(0),
+                }
             })
             .collect();
         Self {
@@ -109,11 +125,11 @@ impl AccelWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ms_render::TileGridDims;
+    use ms_render::{FrameProfile, TileGridDims};
 
     fn stats() -> RenderStats {
         RenderStats {
-            grid: TileGridDims { tiles_x: 2, tiles_y: 2, tile_size: 16 },
+            grid: TileGridDims::for_image(32, 32, 16),
             tile_intersections: vec![10, 0, 500, 3],
             points_projected: 100,
             points_submitted: 120,
@@ -121,6 +137,7 @@ mod tests {
             blend_steps: 4_000,
             point_tiles_used: Vec::new(),
             point_pixels_dominated: Vec::new(),
+            profile: FrameProfile::default(),
         }
     }
 
@@ -133,6 +150,23 @@ mod tests {
         assert_eq!(w.tiles[0].pixels, 256);
         assert_eq!(w.blended_pixels, 12);
         assert_eq!(w.model_bytes, 999);
+    }
+
+    #[test]
+    fn edge_tiles_use_clipped_pixel_counts() {
+        let mut s = stats();
+        s.grid = TileGridDims::for_image(24, 20, 16); // 2×2 grid, clipped edges
+        let w = AccelWorkload::from_stats(&s, None, 0, 0);
+        assert_eq!(w.tiles[0].pixels, 16 * 16);
+        assert_eq!(w.tiles[1].pixels, 8 * 16);
+        assert_eq!(w.tiles[2].pixels, 16 * 4);
+        assert_eq!(w.tiles[3].pixels, 8 * 4);
+        let total: u64 = w.tiles.iter().map(|t| t.pixels as u64).sum();
+        assert_eq!(
+            total,
+            24 * 20,
+            "clipped tile pixels must tile the image exactly"
+        );
     }
 
     #[test]

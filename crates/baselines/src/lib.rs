@@ -218,11 +218,7 @@ fn minisplatting_scores(model: &GaussianModel, cameras: &[Camera]) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics when a statistics-driven baseline gets an empty `stat_cameras`.
-pub fn build_baseline(
-    kind: BaselineKind,
-    scene: &Scene,
-    stat_cameras: &[Camera],
-) -> BaselineModel {
+pub fn build_baseline(kind: BaselineKind, scene: &Scene, stat_cameras: &[Camera]) -> BaselineModel {
     let dense = &scene.model;
     let seed = scene.spec.seed ^ 0xBA5E;
     match kind {
@@ -240,12 +236,18 @@ pub fn build_baseline(
             kind,
             model: dense.clone(),
             // Scale-aware 3D smoothing ≈ stronger screen-space low-pass.
-            render_options: RenderOptions { dilation: 0.9, ..RenderOptions::default() },
+            render_options: RenderOptions {
+                dilation: 0.9,
+                ..RenderOptions::default()
+            },
         },
         BaselineKind::StopThePop => BaselineModel {
             kind,
             model: dense.clone(),
-            render_options: RenderOptions { sort_mode: SortMode::PerPixel, ..RenderOptions::default() },
+            render_options: RenderOptions {
+                sort_mode: SortMode::PerPixel,
+                ..RenderOptions::default()
+            },
         },
         BaselineKind::LightGs => {
             let three_dgs = add_clutter(dense, 0.25, seed);
@@ -266,7 +268,10 @@ pub fn build_baseline(
             }
         }
         BaselineKind::MiniSplatting => {
-            assert!(!stat_cameras.is_empty(), "Mini-Splatting pruning needs cameras");
+            assert!(
+                !stat_cameras.is_empty(),
+                "Mini-Splatting pruning needs cameras"
+            );
             let scores = minisplatting_scores(dense, stat_cameras);
             BaselineModel {
                 kind,
@@ -299,7 +304,9 @@ mod tests {
     use ms_scene::dataset::TraceId;
 
     fn scene() -> Scene {
-        TraceId::by_name("truck").unwrap().build_scene_with_scale(0.004)
+        TraceId::by_name("truck")
+            .unwrap()
+            .build_scene_with_scale(0.004)
     }
 
     fn small_cams(scene: &Scene) -> Vec<Camera> {
@@ -308,7 +315,11 @@ mod tests {
             .iter()
             .step_by(12)
             .take(2)
-            .map(|c| Camera { width: 80, height: 60, ..*c })
+            .map(|c| Camera {
+                width: 80,
+                height: 60,
+                ..*c
+            })
             .collect()
     }
 
@@ -327,7 +338,11 @@ mod tests {
         let s = scene();
         let cams = small_cams(&s);
         let msd = build_baseline(BaselineKind::MiniSplattingD, &s, &cams);
-        for kind in [BaselineKind::LightGs, BaselineKind::CompactGs, BaselineKind::MiniSplatting] {
+        for kind in [
+            BaselineKind::LightGs,
+            BaselineKind::CompactGs,
+            BaselineKind::MiniSplatting,
+        ] {
             let b = build_baseline(kind, &s, &cams);
             assert!(
                 b.model.len() < msd.model.len(),
@@ -356,8 +371,14 @@ mod tests {
         let dense = build_baseline(BaselineKind::ThreeDgs, &s, &cams);
         let pruned = build_baseline(BaselineKind::LightGs, &s, &cams);
         let renderer = Renderer::default();
-        let di = renderer.render(&dense.model, &cams[0]).stats.total_intersections as f32;
-        let pi = renderer.render(&pruned.model, &cams[0]).stats.total_intersections as f32;
+        let di = renderer
+            .render(&dense.model, &cams[0])
+            .stats
+            .total_intersections as f32;
+        let pi = renderer
+            .render(&pruned.model, &cams[0])
+            .stats
+            .total_intersections as f32;
         let point_ratio = pruned.model.len() as f32 / dense.model.len() as f32; // 0.25
         let isect_ratio = pi / di;
         assert!(

@@ -3,15 +3,21 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use metasapiens::accel::{simulate, AccelConfig, AccelWorkload};
-use metasapiens::hvs::{DisplayGeometry, Hvsq, HvsqOptions, EccentricityMap};
+use metasapiens::hvs::{DisplayGeometry, EccentricityMap, Hvsq, HvsqOptions};
 use metasapiens::render::{project_model, RenderOptions, Renderer, TileBins, TileGridDims};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 use std::time::Duration;
 
 fn setup() -> (metasapiens::scene::synth::Scene, Camera) {
-    let scene = TraceId::by_name("garden").unwrap().build_scene_with_scale(0.01);
-    let cam = Camera { width: 192, height: 144, ..scene.train_cameras[0] };
+    let scene = TraceId::by_name("garden")
+        .unwrap()
+        .build_scene_with_scale(0.01);
+    let cam = Camera {
+        width: 192,
+        height: 144,
+        ..scene.train_cameras[0]
+    };
     (scene, cam)
 }
 
@@ -27,11 +33,7 @@ fn bench_binning_and_sort(c: &mut Criterion) {
     let (scene, cam) = setup();
     let opts = RenderOptions::default();
     let splats = project_model(&scene.model, &cam, &opts);
-    let grid = TileGridDims {
-        tiles_x: cam.width.div_ceil(16),
-        tiles_y: cam.height.div_ceil(16),
-        tile_size: 16,
-    };
+    let grid = TileGridDims::for_image(cam.width, cam.height, 16);
     c.bench_function("binning_sort", |b| {
         b.iter(|| TileBins::build(&splats, grid));
     });
@@ -47,7 +49,10 @@ fn bench_rasterization(c: &mut Criterion) {
 
 fn bench_rasterization_parallel(c: &mut Criterion) {
     let (scene, cam) = setup();
-    let renderer = Renderer::new(RenderOptions { parallel: true, ..RenderOptions::default() });
+    let renderer = Renderer::new(RenderOptions {
+        threads: 0,
+        ..RenderOptions::default()
+    });
     c.bench_function("render_full_frame_parallel", |b| {
         b.iter(|| renderer.render(&scene.model, &cam));
     });
@@ -59,12 +64,15 @@ fn bench_hvsq(c: &mut Criterion) {
     let reference = renderer.render(&scene.model, &cam).image;
     let mut altered = reference.clone();
     for p in altered.pixels_mut() {
-        *p = *p * 0.97;
+        *p *= 0.97;
     }
     let display = DisplayGeometry::new(cam.width, cam.height, 88.0);
     let hvsq = Hvsq::with_options(
         EccentricityMap::centered(display),
-        HvsqOptions { stride: 2, ..HvsqOptions::default() },
+        HvsqOptions {
+            stride: 2,
+            ..HvsqOptions::default()
+        },
     );
     c.bench_function("hvsq_full_image", |b| {
         b.iter(|| hvsq.evaluate(&reference, &altered, None));
@@ -75,7 +83,8 @@ fn bench_accel_sim(c: &mut Criterion) {
     let (scene, cam) = setup();
     let renderer = Renderer::default();
     let out = renderer.render(&scene.model, &cam);
-    let workload = AccelWorkload::from_stats(&out.stats, None, 0, scene.model.storage_bytes() as u64);
+    let workload =
+        AccelWorkload::from_stats(&out.stats, None, 0, scene.model.storage_bytes() as u64);
     let config = AccelConfig::metasapiens_tm_ip();
     c.bench_function("accel_simulate_frame", |b| {
         b.iter_batched(

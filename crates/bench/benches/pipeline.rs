@@ -8,7 +8,7 @@ use metasapiens::render::{RenderOptions, Renderer};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 use metasapiens::train::ce::{compute_ce, CeOptions};
-use metasapiens::train::finetune::{FineTuner, FineTuneConfig};
+use metasapiens::train::finetune::{FineTuneConfig, FineTuner};
 use metasapiens::train::prune::prune_fraction;
 use std::time::Duration;
 
@@ -19,7 +19,9 @@ struct Setup {
 }
 
 fn setup() -> Setup {
-    let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.006);
+    let scene = TraceId::by_name("room")
+        .unwrap()
+        .build_scene_with_scale(0.006);
     let cameras: Vec<Camera> = scene
         .train_cameras
         .iter()
@@ -33,8 +35,15 @@ fn setup() -> Setup {
         })
         .collect();
     let renderer = Renderer::default();
-    let references = cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
-    Setup { scene, cameras, references }
+    let references = cameras
+        .iter()
+        .map(|c| renderer.render(&scene.model, c).image)
+        .collect();
+    Setup {
+        scene,
+        cameras,
+        references,
+    }
 }
 
 fn bench_ce(c: &mut Criterion) {
@@ -55,7 +64,10 @@ fn bench_prune_round(c: &mut Criterion) {
 
 fn bench_finetune_iteration(c: &mut Criterion) {
     let s = setup();
-    let config = FineTuneConfig { iterations: 1, ..FineTuneConfig::default() };
+    let config = FineTuneConfig {
+        iterations: 1,
+        ..FineTuneConfig::default()
+    };
     c.bench_function("finetune_one_iteration", |b| {
         b.iter_batched(
             || s.scene.model.clone(),
@@ -74,7 +86,10 @@ fn bench_dense_vs_foveated_frame(c: &mut Criterion) {
         &s.scene.model,
         &s.cameras,
         &s.references,
-        &FrBuildConfig { finetune: None, ..FrBuildConfig::default() },
+        &FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        },
     );
     let renderer = Renderer::default();
     let fr = FoveatedRenderer::new(RenderOptions::default());

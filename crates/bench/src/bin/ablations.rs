@@ -28,11 +28,17 @@ fn main() {
     // 1. CE aggregation: prune 60% by max-CE vs mean-CE, compare MSE.
     println!("(1) CE aggregation — prune 60% of points, quality of the survivors:");
     let mut rows = Vec::new();
-    for (label, agg) in [("max over poses (paper)", CeAggregation::Max), ("mean over poses", CeAggregation::Mean)] {
+    for (label, agg) in [
+        ("max over poses (paper)", CeAggregation::Max),
+        ("mean over poses", CeAggregation::Mean),
+    ] {
         let ce = compute_ce(
             &loaded.scene.model,
             cams,
-            &CeOptions { aggregation: agg, ..CeOptions::default() },
+            &CeOptions {
+                aggregation: agg,
+                ..CeOptions::default()
+            },
         );
         let (pruned, _) = prune_fraction(&loaded.scene.model, &ce, 0.6);
         let mse: f32 = cams
@@ -49,11 +55,8 @@ fn main() {
     // 2. β sweep on the accelerator.
     println!("\n(2) TMU threshold β sweep (MetaSapiens-H FR frame):");
     let system = build_system(&loaded.scene, &BuildConfig::fast_for_tests(Variant::H));
-    let fr_out = FoveatedRenderer::new(RenderOptions::default()).render(
-        &system.fov,
-        &cams[0],
-        None,
-    );
+    let fr_out =
+        FoveatedRenderer::new(RenderOptions::default()).render(&system.fov, &cams[0], None);
     let scale = config.scale_factors();
     let workload = AccelWorkload::from_stats(
         &fr_out.stats,
@@ -79,15 +82,25 @@ fn main() {
     // ---------------------------------------------------------------
     // 3. Multi-versioning on/off at matched point budgets.
     println!("\n(3) Selective multi-versioning (same subsets, tuned vs shared params):");
-    let base_cfg = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+    let base_cfg = FrBuildConfig {
+        finetune: None,
+        ..FrBuildConfig::default()
+    };
     let tuned_cfg = FrBuildConfig {
-        finetune: Some(FineTuneConfig { iterations: 15, scale_decay: None, ..FineTuneConfig::default() }),
+        finetune: Some(FineTuneConfig {
+            iterations: 15,
+            scale_decay: None,
+            ..FineTuneConfig::default()
+        }),
         ..FrBuildConfig::default()
     };
     let shared = build_foveated(&system.l1, cams, refs, &base_cfg);
     let tuned = build_foveated(&system.l1, cams, refs, &tuned_cfg);
     let mut rows = Vec::new();
-    for (label, model) in [("strict subsetting", &shared), ("multi-versioned (paper)", &tuned)] {
+    for (label, model) in [
+        ("strict subsetting", &shared),
+        ("multi-versioned (paper)", &tuned),
+    ] {
         let mse_l4: f32 = cams
             .iter()
             .zip(refs)

@@ -45,7 +45,10 @@ fn main() {
         )
         .scaled(scale.point_factor, scale.pixel_factor);
 
-        let mut row = vec![trace.name.to_string(), format!("{:.0} mJ", gpu_energy * 1e3)];
+        let mut row = vec![
+            trace.name.to_string(),
+            format!("{:.0} mJ", gpu_energy * 1e3),
+        ];
         for (i, c) in configs.iter().enumerate() {
             let sim = simulate(&workload, c);
             let e = energy_model.frame_energy(&workload, &sim, c).total_j();

@@ -38,10 +38,7 @@ fn main() {
         }
         rows.push(boxplot_row(kind.name(), &fps_samples));
     }
-    print_table(
-        &["model", "lo", "Q1", "median", "Q3", "hi", "mean"],
-        &rows,
-    );
+    print_table(&["model", "lo", "Q1", "median", "Q3", "hi", "mean"], &rows);
     println!("\npaper shape: dense models (3DGS, Mini-Splatting-D) slowest and well");
     println!("below real time; pruned models faster but still under the 75-90 FPS VR bar.");
 }

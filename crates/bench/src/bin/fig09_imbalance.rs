@@ -40,10 +40,12 @@ fn main() {
         let out = fr_renderer.render(&system.fov, &loaded.cameras[0], None);
         let samples = out.stats.tile_intersections_f32();
         if trace.name == "bicycle" {
-            println!("(a) heatmap for bicycle ({}x{} tiles, max = {}):",
+            println!(
+                "(a) heatmap for bicycle ({}x{} tiles, max = {}):",
                 out.stats.grid.tiles_x,
                 out.stats.grid.tiles_y,
-                out.stats.max_intersections_per_tile());
+                out.stats.max_intersections_per_tile()
+            );
             ascii_heatmap(
                 &out.stats.tile_intersections,
                 out.stats.grid.tiles_x,
@@ -57,7 +59,9 @@ fn main() {
     }
     println!("(b) per-tile intersection distribution:");
     print_table(
-        &["trace", "lo", "Q1", "median", "Q3", "hi", "mean", "max/mean"],
+        &[
+            "trace", "lo", "Q1", "median", "Q3", "hi", "mean", "max/mean",
+        ],
         &rows,
     );
     println!("\npaper shape: work concentrates at the gaze; spread of 2-3 orders of");

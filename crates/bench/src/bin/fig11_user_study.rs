@@ -71,15 +71,14 @@ fn main() {
         // Mini-Splatting-D emulation: the dense model itself, re-rendered.
         let msd = renderer.render(&loaded.scene.model, cam).image;
 
-        let display = DisplayGeometry::new(
-            cam.width,
-            cam.height,
-            ms_math::rad_to_deg(cam.fovx()),
-        );
+        let display = DisplayGeometry::new(cam.width, cam.height, ms_math::rad_to_deg(cam.fovx()));
         let ecc_map = EccentricityMap::centered(display);
         let hvsq = Hvsq::with_options(
             ecc_map.clone(),
-            HvsqOptions { stride: 2, ..HvsqOptions::default() },
+            HvsqOptions {
+                stride: 2,
+                ..HvsqOptions::default()
+            },
         );
         let q_ours = hvsq.evaluate(reference, &ours, None);
         let q_msd = hvsq.evaluate(reference, &msd, None);
@@ -90,8 +89,7 @@ fn main() {
         // indistinguishable. We therefore anchor the observer's threshold
         // at the L1 render's HVSQ (floored by a peripheral-blur JND).
         let q_l1 = hvsq.evaluate(reference, &renderer.render(&system.l1, cam).image, None);
-        let blur_jnd =
-            hvsq.evaluate(reference, &peripheral_blur(reference, &ecc_map, 6), None);
+        let blur_jnd = hvsq.evaluate(reference, &peripheral_blur(reference, &ecc_map, 6), None);
         let anchor = q_l1.max(blur_jnd);
         let mut obs = observer;
         obs.threshold = anchor;
@@ -110,7 +108,14 @@ fn main() {
     }
 
     print_table(
-        &["trace", "HVSQ ours", "HVSQ MSD", "anchor(L1)", "votes ours", "votes MSD"],
+        &[
+            "trace",
+            "HVSQ ours",
+            "HVSQ MSD",
+            "anchor(L1)",
+            "votes ours",
+            "votes MSD",
+        ],
         &rows,
     );
 

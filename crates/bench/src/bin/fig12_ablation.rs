@@ -42,7 +42,10 @@ fn main() {
             refs,
             FineTuneConfig {
                 iterations: 6,
-                scale_decay: Some(ScaleDecayOptions { usage_threshold: 4.0, gamma: 0.05 }),
+                scale_decay: Some(ScaleDecayOptions {
+                    usage_threshold: 4.0,
+                    gamma: 0.05,
+                }),
                 ..FineTuneConfig::default()
             },
         );

@@ -84,6 +84,12 @@ fn main() {
     let ours_h = variant_acc[0].fps / variant_acc[0].n.max(1.0);
     let ours_l = variant_acc[2].fps / variant_acc[2].n.max(1.0);
     let tdgs = baseline_acc[0].fps / baseline_acc[0].n.max(1.0);
-    println!("\nMetaSapiens-H vs fastest baseline: {:.1}x (paper: 1.9x)", ours_h / fastest_baseline);
-    println!("MetaSapiens-L vs 3DGS:            {:.1}x (paper: 7.9x)", ours_l / tdgs);
+    println!(
+        "\nMetaSapiens-H vs fastest baseline: {:.1}x (paper: 1.9x)",
+        ours_h / fastest_baseline
+    );
+    println!(
+        "MetaSapiens-L vs 3DGS:            {:.1}x (paper: 7.9x)",
+        ours_l / tdgs
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
             "{:<20} geomean {:>6.1}x   max {:>6.1}x",
             c.name,
             ms_math::stats::geomean(&speedups[i]),
-            speedups[i].iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            speedups[i]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max),
         );
     }
     println!("\npaper: Base 18.5x geomean (up to 24.8x); TM+IP 20.9x (up to 27.7x).");

@@ -21,8 +21,7 @@ fn main() {
     let system = build_system(&loaded.scene, &BuildConfig::fast_for_tests(Variant::H));
     let fr = FoveatedRenderer::new(RenderOptions::default());
     let frame = fr.render(&system.fov, &loaded.cameras[0], None);
-    let gpu_latency =
-        GpuCostModel::xavier().frame_latency(&foveated_workload(&frame, scale));
+    let gpu_latency = GpuCostModel::xavier().frame_latency(&foveated_workload(&frame, scale));
     let workload = AccelWorkload::from_stats(
         &frame.stats,
         Some(&frame.tile_level),
@@ -43,14 +42,18 @@ fn main() {
             format!("{:.1}x", gpu_latency / sim_ours.latency_s),
             format!("{:.2}", gscore.area_mm2()),
             format!("{:.1}x", gpu_latency / sim_gscore.latency_s),
-            format!(
-                "{:.2}x",
-                sim_gscore.latency_s / sim_ours.latency_s
-            ),
+            format!("{:.2}x", sim_gscore.latency_s / sim_ours.latency_s),
         ]);
     }
     print_table(
-        &["scale", "ours mm²", "ours speedup", "GSCore mm²", "GSCore speedup", "ours/GSCore"],
+        &[
+            "scale",
+            "ours mm²",
+            "ours speedup",
+            "GSCore mm²",
+            "GSCore speedup",
+            "ours/GSCore",
+        ],
         &rows,
     );
     println!("\npaper shape: ours consistently above GSCore at comparable area; the gap");

@@ -43,15 +43,25 @@ fn main() {
         let l1 = &system.l1;
 
         let smfr = build_smfr(l1, regions.clone(), &fractions, 7 + ti as u64);
-        let mmfr = build_mmfr(l1, cams, refs, regions.clone(), &fractions, None, &CeOptions::default());
+        let mmfr = build_mmfr(
+            l1,
+            cams,
+            refs,
+            regions.clone(),
+            &fractions,
+            None,
+            &CeOptions::default(),
+        );
 
         let cam = &cams[0];
         let reference = &refs[0];
-        let display =
-            DisplayGeometry::new(cam.width, cam.height, ms_math::rad_to_deg(cam.fovx()));
+        let display = DisplayGeometry::new(cam.width, cam.height, ms_math::rad_to_deg(cam.fovx()));
         let hvsq = Hvsq::with_options(
             EccentricityMap::centered(display),
-            HvsqOptions { stride: 2, ..HvsqOptions::default() },
+            HvsqOptions {
+                stride: 2,
+                ..HvsqOptions::default()
+            },
         );
         let boundaries = regions.boundaries_deg();
 
@@ -87,8 +97,16 @@ fn main() {
             let n = a.n.max(1.0);
             let mut row = vec![
                 l.to_string(),
-                format!("{:.1} ({:.2}x)", a.fps / n, (a.fps / n) / (acc[0].fps / acc[0].n.max(1.0))),
-                format!("{:.1} ({:.2}x)", a.storage_mb / n, (a.storage_mb / n) / (acc[0].storage_mb / acc[0].n.max(1.0))),
+                format!(
+                    "{:.1} ({:.2}x)",
+                    a.fps / n,
+                    (a.fps / n) / (acc[0].fps / acc[0].n.max(1.0))
+                ),
+                format!(
+                    "{:.1} ({:.2}x)",
+                    a.storage_mb / n,
+                    (a.storage_mb / n) / (acc[0].storage_mb / acc[0].n.max(1.0))
+                ),
             ];
             for lq in a.hvsq {
                 row.push(format!("{:.2e}", lq / n));
@@ -97,7 +115,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["method", "FPS (rel)", "storage MB (rel)", "HVSQ L1", "HVSQ L2", "HVSQ L3", "HVSQ L4"],
+        &[
+            "method",
+            "FPS (rel)",
+            "storage MB (rel)",
+            "HVSQ L1",
+            "HVSQ L2",
+            "HVSQ L3",
+            "HVSQ L4",
+        ],
         &rows,
     );
     println!("\npaper shape: SMFR fastest but its L4 HVSQ is >10x worse; MMFR best");

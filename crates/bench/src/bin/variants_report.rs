@@ -53,7 +53,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["variant", "size vs dense", "FPS", "speedup vs dense", "PSNR dB"],
+        &[
+            "variant",
+            "size vs dense",
+            "FPS",
+            "speedup vs dense",
+            "PSNR dB",
+        ],
         &rows,
     );
     println!("\npaper: total model sizes 16%/12%/10% of dense; L1 PSNR targets");

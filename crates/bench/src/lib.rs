@@ -42,7 +42,10 @@ impl ExperimentConfig {
     /// knobs can be overridden via environment variables.
     pub fn from_env() -> Self {
         let get = |k: &str, d: f32| {
-            std::env::var(k).ok().and_then(|v| v.parse::<f32>().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse::<f32>().ok())
+                .unwrap_or(d)
         };
         Self {
             scene_scale: get("MS_SCALE", 0.008),
@@ -56,7 +59,10 @@ impl ExperimentConfig {
 
     /// The traces this configuration evaluates.
     pub fn traces(&self) -> Vec<TraceId> {
-        TraceId::all().into_iter().take(self.trace_cap.max(1)).collect()
+        TraceId::all()
+            .into_iter()
+            .take(self.trace_cap.max(1))
+            .collect()
     }
 
     /// Workload scaling back to the paper's full-size configuration.
@@ -106,8 +112,16 @@ pub fn load_trace(trace: TraceId, config: &ExperimentConfig) -> LoadedTrace {
         .map(|c| config.shrink_camera(c))
         .collect();
     let renderer = Renderer::new(RenderOptions::default());
-    let references = cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
-    LoadedTrace { trace, scene, cameras, references }
+    let references = cameras
+        .iter()
+        .map(|c| renderer.render(&scene.model, c).image)
+        .collect();
+    LoadedTrace {
+        trace,
+        scene,
+        cameras,
+        references,
+    }
 }
 
 /// Print a fixed-width table.

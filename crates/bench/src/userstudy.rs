@@ -33,7 +33,11 @@ pub struct ObserverModel {
 
 impl Default for ObserverModel {
     fn default() -> Self {
-        Self { temperature: 2.0e-5, lapse: 0.1, threshold: 5.0e-5 }
+        Self {
+            temperature: 2.0e-5,
+            lapse: 0.1,
+            threshold: 5.0e-5,
+        }
     }
 }
 
@@ -126,7 +130,11 @@ mod tests {
 
     #[test]
     fn lapse_bounds_certainty() {
-        let o = ObserverModel { temperature: 1e-9, lapse: 0.2, ..ObserverModel::default() };
+        let o = ObserverModel {
+            temperature: 1e-9,
+            lapse: 0.2,
+            ..ObserverModel::default()
+        };
         let p = o.p_prefer_a(0.0, 1.0);
         assert!(p <= 0.9 + 1e-9, "lapse caps certainty: {p}");
     }
@@ -166,6 +174,9 @@ mod tests {
             .map(|i| simulate_trace("t", 2.0e-5, 2.0e-5, 12, 8, &o, 100 + i))
             .collect();
         let (two_sided, _) = significance(&votes);
-        assert!(two_sided > 0.05, "ties should not be significant: p = {two_sided}");
+        assert!(
+            two_sided > 0.05,
+            "ties should not be significant: p = {two_sided}"
+        );
     }
 }

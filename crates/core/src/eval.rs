@@ -63,7 +63,10 @@ pub struct ScaleFactors {
 impl ScaleFactors {
     /// Identity scaling (report the measured workload as-is).
     pub fn identity() -> Self {
-        Self { point_factor: 1.0, pixel_factor: 1.0 }
+        Self {
+            point_factor: 1.0,
+            pixel_factor: 1.0,
+        }
     }
 
     /// Factors for a scene built at `scene_scale` and rendered at
@@ -179,15 +182,24 @@ mod tests {
 
     #[test]
     fn metrics_of_model_against_itself_are_ideal() {
-        let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.003);
+        let scene = TraceId::by_name("room")
+            .unwrap()
+            .build_scene_with_scale(0.003);
         let cams: Vec<Camera> = scene
             .train_cameras
             .iter()
             .take(2)
-            .map(|c| Camera { width: 64, height: 48, ..*c })
+            .map(|c| Camera {
+                width: 64,
+                height: 48,
+                ..*c
+            })
             .collect();
         let renderer = Renderer::default();
-        let refs: Vec<Image> = cams.iter().map(|c| renderer.render(&scene.model, c).image).collect();
+        let refs: Vec<Image> = cams
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
         let m = evaluate_model(
             &scene.model,
             &RenderOptions::default(),
@@ -203,7 +215,9 @@ mod tests {
 
     #[test]
     fn pruned_system_trades_quality_for_fps() {
-        let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.003);
+        let scene = TraceId::by_name("room")
+            .unwrap()
+            .build_scene_with_scale(0.003);
         let system = build_system(&scene, &BuildConfig::fast_for_tests(Variant::L));
         let cams = system.train_cameras.clone();
         let refs = system.references.clone();
@@ -221,23 +235,47 @@ mod tests {
             &refs,
             ScaleFactors::identity(),
         );
-        assert!(pruned.fps > dense.fps, "pruned {} vs dense {}", pruned.fps, dense.fps);
+        assert!(
+            pruned.fps > dense.fps,
+            "pruned {} vs dense {}",
+            pruned.fps,
+            dense.fps
+        );
         assert!(pruned.psnr_db <= dense.psnr_db);
-        assert!(pruned.psnr_db > 15.0, "pruned quality collapsed: {}", pruned.psnr_db);
+        assert!(
+            pruned.psnr_db > 15.0,
+            "pruned quality collapsed: {}",
+            pruned.psnr_db
+        );
     }
 
     #[test]
     fn scale_factors_raise_latency() {
-        let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.003);
+        let scene = TraceId::by_name("room")
+            .unwrap()
+            .build_scene_with_scale(0.003);
         let cams: Vec<Camera> = scene
             .train_cameras
             .iter()
             .take(1)
-            .map(|c| Camera { width: 64, height: 48, ..*c })
+            .map(|c| Camera {
+                width: 64,
+                height: 48,
+                ..*c
+            })
             .collect();
         let renderer = Renderer::default();
-        let refs: Vec<Image> = cams.iter().map(|c| renderer.render(&scene.model, c).image).collect();
-        let small = evaluate_model(&scene.model, &RenderOptions::default(), &cams, &refs, ScaleFactors::identity());
+        let refs: Vec<Image> = cams
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
+        let small = evaluate_model(
+            &scene.model,
+            &RenderOptions::default(),
+            &cams,
+            &refs,
+            ScaleFactors::identity(),
+        );
         let scaled = evaluate_model(
             &scene.model,
             &RenderOptions::default(),

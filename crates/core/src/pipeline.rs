@@ -120,7 +120,10 @@ impl BuildConfig {
                 scale_decay: Some(ScaleDecayOptions::default()),
                 ..FineTuneConfig::default()
             },
-            fr: FrBuildConfig { finetune: None, ..FrBuildConfig::default() },
+            fr: FrBuildConfig {
+                finetune: None,
+                ..FrBuildConfig::default()
+            },
             ..Self::new(variant)
         }
     }
@@ -166,7 +169,10 @@ impl MetaSapiensSystem {
 ///
 /// Panics when the scene provides no training cameras.
 pub fn build_system(scene: &Scene, config: &BuildConfig) -> MetaSapiensSystem {
-    assert!(!scene.train_cameras.is_empty(), "scene has no training cameras");
+    assert!(
+        !scene.train_cameras.is_empty(),
+        "scene has no training cameras"
+    );
     let (w, h) = config.train_resolution;
     let step = (scene.train_cameras.len() / config.train_camera_cap.max(1)).max(1);
     let train_cameras: Vec<Camera> = scene
@@ -174,7 +180,11 @@ pub fn build_system(scene: &Scene, config: &BuildConfig) -> MetaSapiensSystem {
         .iter()
         .step_by(step)
         .take(config.train_camera_cap.max(1))
-        .map(|c| Camera { width: w, height: h, ..*c })
+        .map(|c| Camera {
+            width: w,
+            height: h,
+            ..*c
+        })
         .collect();
 
     let renderer = Renderer::new(config.render.clone());
@@ -218,7 +228,9 @@ mod tests {
     use ms_scene::dataset::TraceId;
 
     fn scene() -> Scene {
-        TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.004)
+        TraceId::by_name("bonsai")
+            .unwrap()
+            .build_scene_with_scale(0.004)
     }
 
     #[test]

@@ -40,15 +40,17 @@ pub fn build_smfr(
     // Deterministic shuffle via splitmix-ish hashing.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| {
-        let mut h = (i as u64).wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut h = (i as u64)
+            .wrapping_add(seed)
+            .wrapping_mul(0x9E3779B97F4A7C15);
         h ^= h >> 31;
         h = h.wrapping_mul(0xBF58476D1CE4E5B9);
         h ^ (h >> 29)
     });
 
     let mut quality_bound = vec![0u8; n];
-    for l in 1..levels {
-        let keep = ((n as f32) * level_fractions[l]).round().max(1.0) as usize;
+    for (l, &frac) in level_fractions.iter().enumerate().take(levels).skip(1) {
+        let keep = ((n as f32) * frac).round().max(1.0) as usize;
         for &i in order.iter().take(keep) {
             quality_bound[i] = l as u8;
         }
@@ -160,17 +162,25 @@ mod tests {
     use ms_scene::dataset::TraceId;
 
     fn setup() -> (GaussianModel, Vec<Camera>, Vec<Image>) {
-        let scene = TraceId::by_name("playroom").unwrap().build_scene_with_scale(0.005);
+        let scene = TraceId::by_name("playroom")
+            .unwrap()
+            .build_scene_with_scale(0.005);
         let cameras: Vec<Camera> = scene
             .train_cameras
             .iter()
             .step_by(12)
             .take(2)
-            .map(|c| Camera { width: 80, height: 60, ..*c })
+            .map(|c| Camera {
+                width: 80,
+                height: 60,
+                ..*c
+            })
             .collect();
         let renderer = Renderer::default();
-        let references: Vec<Image> =
-            cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
+        let references: Vec<Image> = cameras
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
         (scene.model, cameras, references)
     }
 
@@ -222,7 +232,10 @@ mod tests {
         // MMFR stores every level separately: Σ fractions ≈ 2× the base.
         let expected_ratio = FRACTIONS.iter().sum::<f32>();
         let actual_ratio = mmfr.storage_bytes() as f32 / l1.storage_bytes() as f32;
-        assert!((actual_ratio - expected_ratio).abs() < 0.05, "ratio {actual_ratio}");
+        assert!(
+            (actual_ratio - expected_ratio).abs() < 0.05,
+            "ratio {actual_ratio}"
+        );
         assert!(mmfr.storage_bytes() > smfr.storage_bytes());
     }
 
@@ -230,7 +243,15 @@ mod tests {
     fn mmfr_projection_cost_is_per_level() {
         let (l1, cams, refs) = setup();
         let regions = QualityRegions::paper_default();
-        let mmfr = build_mmfr(&l1, &cams, &refs, regions.clone(), &FRACTIONS, None, &CeOptions::default());
+        let mmfr = build_mmfr(
+            &l1,
+            &cams,
+            &refs,
+            regions.clone(),
+            &FRACTIONS,
+            None,
+            &CeOptions::default(),
+        );
         let smfr = build_smfr(&l1, regions, &FRACTIONS, 3);
         let fr = FoveatedRenderer::default();
         let out_mm = render_mmfr(&fr, &mmfr, &cams[0], None);

@@ -112,8 +112,10 @@ pub fn build_foveated(
         // Prune by CE within the current level's model.
         let ce = compute_ce(&current_model, cameras, &config.ce);
         let (mut next_model, kept_local) = prune_lowest(&current_model, &ce, remove);
-        let next_base_indices: Vec<usize> =
-            kept_local.iter().map(|&k| current_base_indices[k]).collect();
+        let next_base_indices: Vec<usize> = kept_local
+            .iter()
+            .map(|&k| current_base_indices[k])
+            .collect();
 
         // Survivors reach level l.
         for &bi in &next_base_indices {
@@ -148,7 +150,12 @@ pub fn build_foveated(
         current_base_indices = next_base_indices;
     }
 
-    FoveatedModel::new(l1.clone(), quality_bound, level_params, config.regions.clone())
+    FoveatedModel::new(
+        l1.clone(),
+        quality_bound,
+        level_params,
+        config.regions.clone(),
+    )
 }
 
 /// HVSQ-threshold-controlled level construction — the full §4.3 procedure.
@@ -194,7 +201,10 @@ pub fn build_foveated_hvsq(
                 DisplayGeometry::new(cam.width, cam.height, ms_math::rad_to_deg(cam.fovx()));
             Hvsq::with_options(
                 EccentricityMap::centered(display),
-                HvsqOptions { stride: 2, ..HvsqOptions::default() },
+                HvsqOptions {
+                    stride: 2,
+                    ..HvsqOptions::default()
+                },
             )
         })
         .collect();
@@ -259,7 +269,12 @@ pub fn build_foveated_hvsq(
         current_base_indices = accepted_indices;
     }
 
-    FoveatedModel::new(l1.clone(), quality_bound, level_params, config.regions.clone())
+    FoveatedModel::new(
+        l1.clone(),
+        quality_bound,
+        level_params,
+        config.regions.clone(),
+    )
 }
 
 #[cfg(test)]
@@ -269,24 +284,35 @@ mod tests {
     use ms_scene::dataset::TraceId;
 
     fn setup() -> (GaussianModel, Vec<Camera>, Vec<Image>) {
-        let scene = TraceId::by_name("counter").unwrap().build_scene_with_scale(0.005);
+        let scene = TraceId::by_name("counter")
+            .unwrap()
+            .build_scene_with_scale(0.005);
         let cameras: Vec<Camera> = scene
             .train_cameras
             .iter()
             .step_by(12)
             .take(2)
-            .map(|c| Camera { width: 80, height: 60, ..*c })
+            .map(|c| Camera {
+                width: 80,
+                height: 60,
+                ..*c
+            })
             .collect();
         let renderer = Renderer::default();
-        let references: Vec<Image> =
-            cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
+        let references: Vec<Image> = cameras
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
         (scene.model, cameras, references)
     }
 
     #[test]
     fn build_respects_level_fractions() {
         let (l1, cams, refs) = setup();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let fr = build_foveated(&l1, &cams, &refs, &config);
         let counts = fr.level_point_counts();
         assert_eq!(counts[0], l1.len());
@@ -303,7 +329,10 @@ mod tests {
     #[test]
     fn subset_invariant_holds() {
         let (l1, cams, refs) = setup();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let fr = build_foveated(&l1, &cams, &refs, &config);
         for l in 0..fr.level_count() - 1 {
             let upper: std::collections::HashSet<u32> =
@@ -321,7 +350,10 @@ mod tests {
             &l1,
             &cams,
             &refs,
-            &FrBuildConfig { finetune: None, ..FrBuildConfig::default() },
+            &FrBuildConfig {
+                finetune: None,
+                ..FrBuildConfig::default()
+            },
         );
         let tuned = build_foveated(
             &l1,
@@ -339,8 +371,14 @@ mod tests {
         // The L4 model of the tuned build should approximate the reference
         // better than the un-tuned subset (multi-versioning at work).
         let renderer = Renderer::default();
-        let mse_plain = renderer.render(plain.level_model(3), &cams[0]).image.mse(&refs[0]);
-        let mse_tuned = renderer.render(tuned.level_model(3), &cams[0]).image.mse(&refs[0]);
+        let mse_plain = renderer
+            .render(plain.level_model(3), &cams[0])
+            .image
+            .mse(&refs[0]);
+        let mse_tuned = renderer
+            .render(tuned.level_model(3), &cams[0])
+            .image
+            .mse(&refs[0]);
         assert!(
             mse_tuned < mse_plain,
             "multi-version tuning should help: {mse_plain} → {mse_tuned}"
@@ -350,7 +388,10 @@ mod tests {
     #[test]
     fn storage_overhead_is_small() {
         let (l1, cams, refs) = setup();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let fr = build_foveated(&l1, &cams, &refs, &config);
         // Paper: ~6% for 4 multi-versioned params out of ~60.
         let overhead = fr.storage_overhead();
@@ -360,7 +401,10 @@ mod tests {
     #[test]
     fn hvsq_guided_build_respects_quality_budget() {
         let (l1, cams, refs) = setup();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let fr = build_foveated_hvsq(&l1, &cams, &refs, &config, 0.2, 3.0, 4);
         let counts = fr.level_point_counts();
         // Levels shrink monotonically and the hierarchy stays valid.
@@ -374,7 +418,10 @@ mod tests {
     #[test]
     fn hvsq_guided_build_prunes_less_under_tight_budget() {
         let (l1, cams, refs) = setup();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let tight = build_foveated_hvsq(&l1, &cams, &refs, &config, 0.25, 1.0, 6);
         let loose = build_foveated_hvsq(&l1, &cams, &refs, &config, 0.25, 50.0, 6);
         // A looser quality budget admits deeper pruning at the last level.
@@ -385,14 +432,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = FrBuildConfig::default();
-        c.level_fractions = vec![1.0, 0.5];
+        let c = FrBuildConfig {
+            level_fractions: vec![1.0, 0.5],
+            ..FrBuildConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = FrBuildConfig::default();
-        c.level_fractions = vec![0.9, 0.5, 0.3, 0.1];
+        let c = FrBuildConfig {
+            level_fractions: vec![0.9, 0.5, 0.3, 0.1],
+            ..FrBuildConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = FrBuildConfig::default();
-        c.level_fractions = vec![1.0, 0.5, 0.6, 0.1];
+        let c = FrBuildConfig {
+            level_fractions: vec![1.0, 0.5, 0.6, 0.1],
+            ..FrBuildConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = FrBuildConfig::default();
         if let Some(ft) = &mut c.finetune {

@@ -238,10 +238,13 @@ mod tests {
         assert_eq!(counts, vec![8, 6, 4, 2]);
         // Subset invariant: level l+1 indices ⊆ level l indices.
         for l in 0..3 {
-            let a: std::collections::HashSet<u32> =
-                fm.level_index_map(l).iter().copied().collect();
+            let a: std::collections::HashSet<u32> = fm.level_index_map(l).iter().copied().collect();
             for &i in fm.level_index_map(l + 1) {
-                assert!(a.contains(&i), "level {} point {i} missing from level {l}", l + 1);
+                assert!(
+                    a.contains(&i),
+                    "level {} point {i} missing from level {l}",
+                    l + 1
+                );
             }
         }
     }
@@ -257,11 +260,18 @@ mod tests {
         let fm = sample();
         // Extra versions = sum of bounds = 3+3+2+2+1+1 = 12 → 12·16 bytes.
         let expected_extra = 12 * 16;
-        assert_eq!(fm.storage_bytes() - fm.base().storage_bytes(), expected_extra);
+        assert_eq!(
+            fm.storage_bytes() - fm.base().storage_bytes(),
+            expected_extra
+        );
         // Overhead stays small relative to a full-SH model (the paper's
         // ~6% figure assumes most points bound out at L1; here the bound
         // distribution is deliberately uniform, so allow more headroom).
-        assert!(fm.storage_overhead() < 0.15, "overhead {}", fm.storage_overhead());
+        assert!(
+            fm.storage_overhead() < 0.15,
+            "overhead {}",
+            fm.storage_overhead()
+        );
     }
 
     #[test]
@@ -271,7 +281,12 @@ mod tests {
         let mut p = no_override(&base);
         p.opacity = vec![0.9; 4];
         p.dc = vec![[1.0, 2.0, 3.0]; 4];
-        let fm = FoveatedModel::new(base, bounds, vec![p, no_override(&base_model(4)), no_override(&base_model(4))], QualityRegions::paper_default());
+        let fm = FoveatedModel::new(
+            base,
+            bounds,
+            vec![p, no_override(&base_model(4)), no_override(&base_model(4))],
+            QualityRegions::paper_default(),
+        );
         let l1 = fm.level_model(1);
         assert_eq!(l1.len(), 2);
         assert_eq!(l1.opacities[0], 0.9);

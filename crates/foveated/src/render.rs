@@ -14,7 +14,11 @@ pub struct FovRenderOutput {
     pub image: Image,
     /// Merged workload statistics across levels (per-tile intersections are
     /// summed element-wise; projection is counted once for subsetting
-    /// models, per-level for multi-model baselines).
+    /// models, per-level for multi-model baselines). In the merged profile,
+    /// Project *work counters* follow the same sharing model (so
+    /// `profile.items(Project) == points_projected` always holds), while
+    /// Project *wall times* sum every level's measured projection cost —
+    /// don't compute items/wall throughput from the merged Project samples.
     pub stats: RenderStats,
     /// Raw per-level statistics.
     pub per_level_stats: Vec<RenderStats>,
@@ -54,7 +58,9 @@ impl FoveatedRenderer {
     ///
     /// Panics when the options are invalid.
     pub fn new(options: RenderOptions) -> Self {
-        Self { renderer: Renderer::new(options) }
+        Self {
+            renderer: Renderer::new(options),
+        }
     }
 
     /// The underlying renderer options.
@@ -70,9 +76,16 @@ impl FoveatedRenderer {
         camera: &Camera,
         gaze: Option<Vec2>,
     ) -> FovRenderOutput {
-        let level_models: Vec<&GaussianModel> =
-            (0..model.level_count()).map(|l| model.level_model(l)).collect();
-        self.render_levels(&level_models, model.regions(), camera, gaze, ProjectionSharing::Shared)
+        let level_models: Vec<&GaussianModel> = (0..model.level_count())
+            .map(|l| model.level_model(l))
+            .collect();
+        self.render_levels(
+            &level_models,
+            model.regions(),
+            camera,
+            gaze,
+            ProjectionSharing::Shared,
+        )
     }
 
     /// Render an arbitrary stack of per-level models (used by the SMFR/MMFR
@@ -109,14 +122,16 @@ impl FoveatedRenderer {
         // blend band of the previous region that leads into it.
         let mut level_images: Vec<Image> = Vec::with_capacity(levels);
         let mut per_level_stats: Vec<RenderStats> = Vec::with_capacity(levels);
-        for l in 0..levels {
+        for (l, level_model) in level_models.iter().enumerate().take(levels) {
             let mask: Vec<bool> = (0..n_pixels)
                 .map(|i| {
                     let pl = pixel_level[i] as usize;
                     pl == l || (l >= 1 && pl == l - 1 && pixel_blend[i] > 0.0)
                 })
                 .collect();
-            let out = self.renderer.render_masked(level_models[l], camera, |_| true, &mask);
+            let out = self
+                .renderer
+                .render_masked(level_model, camera, |_| true, &mask);
             level_images.push(out.image);
             per_level_stats.push(out.stats);
         }
@@ -132,7 +147,9 @@ impl FoveatedRenderer {
                 let w = pixel_blend[i];
                 let c = if w > 0.0 && l + 1 < levels {
                     blended_pixels += 1;
-                    level_images[l].pixel(x, y).lerp(level_images[l + 1].pixel(x, y), w)
+                    level_images[l]
+                        .pixel(x, y)
+                        .lerp(level_images[l + 1].pixel(x, y), w)
                 } else {
                     level_images[l].pixel(x, y)
                 };
@@ -140,23 +157,54 @@ impl FoveatedRenderer {
             }
         }
 
-        // Merge stats.
+        // Merge stats. Per-level stage profiles fold into one frame profile
+        // (per-stage wall times and work counters sum across levels), so the
+        // merged stats stay the single source the accelerator workload is
+        // derived from.
         let grid = per_level_stats[0].grid;
         let mut tile_intersections = vec![0u32; per_level_stats[0].tile_intersections.len()];
         let mut blend_steps = 0u64;
-        for s in &per_level_stats {
+        let mut profile = ms_render::FrameProfile::default();
+        for (l, s) in per_level_stats.iter().enumerate() {
             for (acc, &v) in tile_intersections.iter_mut().zip(&s.tile_intersections) {
                 *acc += v;
             }
             blend_steps += s.blend_steps;
+            if sharing == ProjectionSharing::Shared && l > 0 {
+                // Subsetting projects once over the base set; levels beyond
+                // the first re-project only because the reference renderer
+                // has no shared projection cache. Zero their Project *work
+                // counters* so the merged Project counter equals
+                // `points_projected` (the modeled shared-projection work,
+                // the invariant `AccelWorkload::from_stats` relies on) —
+                // but keep their wall times, which were genuinely spent.
+                let adjusted = ms_render::FrameProfile {
+                    samples: s
+                        .profile
+                        .samples
+                        .iter()
+                        .map(|smp| {
+                            if smp.kind == ms_render::StageKind::Project {
+                                ms_render::StageSample { items: 0, ..*smp }
+                            } else {
+                                *smp
+                            }
+                        })
+                        .collect(),
+                };
+                profile.absorb(&adjusted);
+            } else {
+                profile.absorb(&s.profile);
+            }
         }
         let total_intersections = tile_intersections.iter().map(|&v| v as u64).sum();
         let (points_projected, points_submitted) = match sharing {
             // Subsetting: projection and filtering execute once, over the
             // base set (= level 0's model).
-            ProjectionSharing::Shared => {
-                (per_level_stats[0].points_projected, per_level_stats[0].points_submitted)
-            }
+            ProjectionSharing::Shared => (
+                per_level_stats[0].points_projected,
+                per_level_stats[0].points_submitted,
+            ),
             ProjectionSharing::PerLevel => (
                 per_level_stats.iter().map(|s| s.points_projected).sum(),
                 per_level_stats.iter().map(|s| s.points_submitted).sum(),
@@ -197,6 +245,7 @@ impl FoveatedRenderer {
                 blend_steps,
                 point_tiles_used: Vec::new(),
                 point_pixels_dominated: Vec::new(),
+                profile,
             },
             per_level_stats,
             tile_level,
@@ -216,11 +265,16 @@ mod tests {
     /// boundary, which double-counts cross-level work the real (high-res)
     /// configuration doesn't pay.
     fn fr_opts() -> RenderOptions {
-        RenderOptions { tile_size: 8, ..RenderOptions::default() }
+        RenderOptions {
+            tile_size: 8,
+            ..RenderOptions::default()
+        }
     }
 
     fn setup() -> (FoveatedModel, Vec<Camera>, Vec<Image>) {
-        let scene = TraceId::by_name("room").unwrap().build_scene_with_scale(0.006);
+        let scene = TraceId::by_name("room")
+            .unwrap()
+            .build_scene_with_scale(0.006);
         let cameras: Vec<Camera> = scene
             .train_cameras
             .iter()
@@ -228,12 +282,22 @@ mod tests {
             .take(2)
             // Wide VR-like FOV (fovx ≈ 88°): with a narrow camera most of
             // the image is foveal and FR has nothing to relax.
-            .map(|c| Camera { width: 128, height: 96, fovy: ms_math::deg_to_rad(74.0), ..*c })
+            .map(|c| Camera {
+                width: 128,
+                height: 96,
+                fovy: ms_math::deg_to_rad(74.0),
+                ..*c
+            })
             .collect();
         let renderer = Renderer::new(fr_opts());
-        let references: Vec<Image> =
-            cameras.iter().map(|c| renderer.render(&scene.model, c).image).collect();
-        let config = FrBuildConfig { finetune: None, ..FrBuildConfig::default() };
+        let references: Vec<Image> = cameras
+            .iter()
+            .map(|c| renderer.render(&scene.model, c).image)
+            .collect();
+        let config = FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        };
         let fr = build_foveated(&scene.model, &cameras, &references, &config);
         (fr, cameras, references)
     }
@@ -307,7 +371,10 @@ mod tests {
         let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
         let n = (128 * 96) as usize;
         assert!(out.blended_pixels > 0, "some pixels must blend");
-        assert!(out.blended_pixels < n / 2, "blending should be a minority of pixels");
+        assert!(
+            out.blended_pixels < n / 2,
+            "blending should be a minority of pixels"
+        );
     }
 
     #[test]
@@ -318,5 +385,21 @@ mod tests {
         // Per-level projected sums exceed the shared count (subsetting wins).
         let sum: usize = out.per_level_stats.iter().map(|s| s.points_projected).sum();
         assert!(sum >= out.stats.points_projected);
+    }
+
+    #[test]
+    fn merged_profile_counters_match_merged_stats() {
+        use ms_render::StageKind;
+        let (fr, cameras, _) = setup();
+        let out = FoveatedRenderer::new(fr_opts()).render(&fr, &cameras[0], None);
+        let p = &out.stats.profile;
+        // The merged profile must agree with the merged headline stats —
+        // the "renderer and simulator agree by construction" invariant.
+        assert_eq!(
+            p.items(StageKind::Project),
+            out.stats.points_projected as u64
+        );
+        assert_eq!(p.items(StageKind::Bin), out.stats.total_intersections);
+        assert_eq!(p.items(StageKind::Raster), out.stats.blend_steps);
     }
 }

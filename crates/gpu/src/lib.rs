@@ -59,15 +59,17 @@ pub struct FrameWorkload {
 }
 
 impl FrameWorkload {
-    /// Extract the workload from render statistics.
+    /// Extract the workload from render statistics. Every term is what the
+    /// renderer's staged pipeline measured; `pixels` is the exact image
+    /// area (`TileGridDims::pixel_count`), not the tile grid padded to
+    /// `tile_size²`.
     pub fn from_stats(stats: &RenderStats, per_pixel_sort: bool) -> Self {
-        let g = stats.grid;
         Self {
             points_submitted: stats.points_submitted,
             points_projected: stats.points_projected,
             total_intersections: stats.total_intersections,
             blend_steps: stats.blend_steps,
-            pixels: (g.tiles_x * g.tile_size) as u64 * (g.tiles_y * g.tile_size) as u64,
+            pixels: stats.grid.pixel_count(),
             blended_pixels: 0,
             per_pixel_sort,
         }
@@ -146,7 +148,11 @@ impl GpuCostModel {
 
     /// Estimated frame latency in seconds.
     pub fn frame_latency(&self, w: &FrameWorkload) -> f64 {
-        let raster_factor = if w.per_pixel_sort { self.per_pixel_sort_factor } else { 1.0 };
+        let raster_factor = if w.per_pixel_sort {
+            self.per_pixel_sort_factor
+        } else {
+            1.0
+        };
         self.c_fixed
             + self.c_point_submit * w.points_submitted as f64
             + self.c_point_project * w.points_projected as f64
@@ -196,7 +202,10 @@ mod tests {
     #[test]
     fn dense_model_is_below_real_time() {
         let fps = GpuCostModel::xavier().fps(&dense_workload());
-        assert!(fps < 15.0, "paper: dense PBNR well below real-time, got {fps}");
+        assert!(
+            fps < 15.0,
+            "paper: dense PBNR well below real-time, got {fps}"
+        );
         assert!(fps > 1.0);
     }
 

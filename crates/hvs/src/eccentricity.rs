@@ -31,9 +31,16 @@ impl DisplayGeometry {
     ///
     /// Panics when the resolution is zero or the FOV is outside (0°, 180°).
     pub fn new(width: u32, height: u32, fovx_deg: f32) -> Self {
-        assert!(width > 0 && height > 0, "display resolution must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "display resolution must be non-zero"
+        );
         assert!((0.0..180.0).contains(&fovx_deg) && fovx_deg > 0.0);
-        Self { width, height, fovx_deg }
+        Self {
+            width,
+            height,
+            fovx_deg,
+        }
     }
 
     /// Focal length in pixels.
@@ -89,7 +96,11 @@ impl EccentricityMap {
                 ecc_deg.push(display.eccentricity_deg(px, gaze));
             }
         }
-        Self { display, gaze, ecc_deg }
+        Self {
+            display,
+            gaze,
+            ecc_deg,
+        }
     }
 
     /// Build with the gaze at the display center.
@@ -156,7 +167,10 @@ impl QualityRegions {
             "boundaries must increase"
         );
         assert!(blend_width_deg >= 0.0);
-        Self { boundaries_deg, blend_width_deg }
+        Self {
+            boundaries_deg,
+            blend_width_deg,
+        }
     }
 
     /// Number of quality levels.
@@ -182,7 +196,10 @@ impl QualityRegions {
 
     /// Per-pixel level map.
     pub fn level_map(&self, ecc: &EccentricityMap) -> Vec<u8> {
-        ecc.values().iter().map(|&e| self.level_of(e) as u8).collect()
+        ecc.values()
+            .iter()
+            .map(|&e| self.level_of(e) as u8)
+            .collect()
     }
 
     /// Fraction of pixels in each level.
@@ -206,11 +223,7 @@ impl QualityRegions {
             return (level, 0.0);
         }
         let next_boundary = self.boundaries_deg[level + 1];
-        let w = smoothstep(
-            next_boundary - self.blend_width_deg,
-            next_boundary,
-            ecc_deg,
-        );
+        let w = smoothstep(next_boundary - self.blend_width_deg, next_boundary, ecc_deg);
         (level, w)
     }
 

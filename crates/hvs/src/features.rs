@@ -43,7 +43,12 @@ impl IntegralImage {
                 sum_sq[(y + 1) * stride + x + 1] = sum_sq[y * stride + x + 1] + row_sq;
             }
         }
-        Self { width, height, sum, sum_sq }
+        Self {
+            width,
+            height,
+            sum,
+            sum_sq,
+        }
     }
 
     /// Mean and standard deviation over the clamped window
@@ -107,7 +112,12 @@ impl FeatureMaps {
             IntegralImage::new(&gx, w, h),
             IntegralImage::new(&gy, w, h),
         ];
-        Self { channels: integrals.len(), integrals, width: w, height: h }
+        Self {
+            channels: integrals.len(),
+            integrals,
+            width: w,
+            height: h,
+        }
     }
 }
 

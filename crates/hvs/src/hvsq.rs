@@ -198,7 +198,11 @@ mod tests {
                 if (dx * dx + dy * dy).sqrt() < radius {
                     let p = img.pixel(x, y);
                     let n: f32 = rng.gen_range(-0.3..0.3);
-                    out.set_pixel(x, y, (p + Vec3::splat(n)).max(Vec3::zero()).min(Vec3::one()));
+                    out.set_pixel(
+                        x,
+                        y,
+                        (p + Vec3::splat(n)).max(Vec3::zero()).min(Vec3::one()),
+                    );
                 }
             }
         }
@@ -258,7 +262,10 @@ mod tests {
         let altered = perturb_disk(&reference, (5, 5), 15.0, 7);
         let foveal_band = h.evaluate(&reference, &altered, Some((0.0, 10.0)));
         let periph_band = h.evaluate(&reference, &altered, Some((25.0, f32::INFINITY)));
-        assert!(periph_band > foveal_band * 2.0, "{periph_band} vs {foveal_band}");
+        assert!(
+            periph_band > foveal_band * 2.0,
+            "{periph_band} vs {foveal_band}"
+        );
     }
 
     #[test]
@@ -285,9 +292,15 @@ mod tests {
         let full = Hvsq::new(display()).evaluate(&reference, &altered, None);
         let strided = Hvsq::with_options(
             EccentricityMap::centered(display()),
-            HvsqOptions { stride: 3, ..HvsqOptions::default() },
+            HvsqOptions {
+                stride: 3,
+                ..HvsqOptions::default()
+            },
         )
         .evaluate(&reference, &altered, None);
-        assert!((full - strided).abs() / full < 0.25, "full {full} vs strided {strided}");
+        assert!(
+            (full - strided).abs() / full < 0.25,
+            "full {full} vs strided {strided}"
+        );
     }
 }

@@ -213,7 +213,12 @@ mod tests {
 
     #[test]
     fn tile_rect_iter_matches_count() {
-        let r = TileRect { x0: 1, y0: 2, x1: 3, y1: 4 };
+        let r = TileRect {
+            x0: 1,
+            y0: 2,
+            x1: 3,
+            y1: 4,
+        };
         assert_eq!(r.iter().count() as u32, r.tile_count());
     }
 

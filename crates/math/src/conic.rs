@@ -49,7 +49,9 @@ impl Cov2 {
     /// Eigenvalues, largest first. For a symmetric 2×2 matrix both are real.
     pub fn eigenvalues(self) -> (f32, f32) {
         let mid = 0.5 * (self.a + self.c);
-        let disc = (0.25 * (self.a - self.c).powi(2) + self.b * self.b).max(0.0).sqrt();
+        let disc = (0.25 * (self.a - self.c).powi(2) + self.b * self.b)
+            .max(0.0)
+            .sqrt();
         (mid + disc, mid - disc)
     }
 

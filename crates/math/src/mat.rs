@@ -70,7 +70,9 @@ impl Mat3 {
         }
         let m = &self.m;
         let inv_det = 1.0 / det;
-        let c = |r0: usize, c0: usize, r1: usize, c1: usize| m[r0][c0] * m[r1][c1] - m[r0][c1] * m[r1][c0];
+        let c = |r0: usize, c0: usize, r1: usize, c1: usize| {
+            m[r0][c0] * m[r1][c1] - m[r0][c1] * m[r1][c0]
+        };
         Some(Self::from_rows(
             [
                 c(1, 1, 2, 2) * inv_det,
@@ -102,12 +104,7 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|v| v * v)
-            .sum::<f32>()
-            .sqrt()
+        self.m.iter().flatten().map(|v| v * v).sum::<f32>().sqrt()
     }
 
     /// Conjugate a symmetric matrix: `self * s * selfᵀ`.
@@ -211,7 +208,9 @@ impl Mat4 {
 
     /// Build from rows.
     pub const fn from_rows(r0: [f32; 4], r1: [f32; 4], r2: [f32; 4], r3: [f32; 4]) -> Self {
-        Self { m: [r0, r1, r2, r3] }
+        Self {
+            m: [r0, r1, r2, r3],
+        }
     }
 
     /// Translation matrix.
@@ -390,7 +389,10 @@ mod tests {
         let view = Mat4::look_at(eye, Vec3::zero(), Vec3::new(0.0, 1.0, 0.0));
         let p = view.transform_point(Vec3::zero()).project();
         assert!(p.x.abs() < 1e-5 && p.y.abs() < 1e-5);
-        assert!((p.z - -5.0).abs() < 1e-5, "target should be 5 units down -Z, got {p}");
+        assert!(
+            (p.z - -5.0).abs() < 1e-5,
+            "target should be 5 units down -Z, got {p}"
+        );
     }
 
     #[test]
@@ -417,17 +419,15 @@ mod tests {
         );
         let inv = view.rigid_inverse();
         let p = Vec3::new(0.3, -0.7, 2.0);
-        let back = inv.transform_point(view.transform_point(p).project()).project();
+        let back = inv
+            .transform_point(view.transform_point(p).project())
+            .project();
         assert!(back.distance(p) < 1e-4);
     }
 
     #[test]
     fn conjugate_symmetric_preserves_symmetry() {
-        let r = Mat3::from_rows(
-            [0.8, -0.6, 0.0],
-            [0.6, 0.8, 0.0],
-            [0.0, 0.0, 1.0],
-        );
+        let r = Mat3::from_rows([0.8, -0.6, 0.0], [0.6, 0.8, 0.0], [0.0, 0.0, 1.0]);
         let s = Mat3::from_diagonal(Vec3::new(1.0, 4.0, 9.0));
         let c = r.conjugate_symmetric(&s);
         for i in 0..3 {

@@ -31,7 +31,12 @@ impl Quat {
     /// The identity rotation.
     #[inline]
     pub const fn identity() -> Self {
-        Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 }
+        Self {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Construct from components (w, x, y, z). Not normalized automatically.

@@ -23,7 +23,13 @@ pub const MAX_COEFFS: usize = coeff_count(MAX_DEGREE); // 16
 // Real SH basis constants (Condon–Shortley phase folded in, 3DGS values).
 const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -45,7 +51,11 @@ const SH_C3: [f32; 7] = [
 pub fn eval_basis(degree: usize, d: Vec3, out: &mut [f32]) {
     assert!(degree <= MAX_DEGREE, "SH degree {degree} > {MAX_DEGREE}");
     let n = coeff_count(degree);
-    assert!(out.len() >= n, "basis buffer too short: {} < {n}", out.len());
+    assert!(
+        out.len() >= n,
+        "basis buffer too short: {} < {n}",
+        out.len()
+    );
 
     out[0] = SH_C0;
     if degree == 0 {

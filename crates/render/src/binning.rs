@@ -1,15 +1,32 @@
 //! Sorting stage: per-tile splat lists ordered front-to-back.
+//!
+//! Bins are stored in a flat CSR (compressed sparse row) layout — one
+//! `Vec<u32>` of splat indices plus one `Vec<u32>` of per-tile offsets —
+//! built counting-sort style in two passes over the splats. Compared to the
+//! previous `Vec<Vec<u32>>` layout this is one allocation instead of one
+//! per tile, and tile lists are contiguous in memory in exactly the order
+//! the rasterizer consumes them. The per-tile intersection counts that
+//! drive the paper's workload analysis (and the accelerator simulator) are
+//! the offset deltas — the renderer and the simulator share them by
+//! construction.
 
 use crate::projection::ProjectedSplat;
 use crate::stats::TileGridDims;
 
-/// Per-tile splat index lists, depth-sorted front-to-back.
+/// Per-tile splat index lists, depth-sorted front-to-back, in a flat CSR
+/// layout.
 ///
 /// Indices refer into the `Vec<ProjectedSplat>` the bins were built from.
+/// Tile `(tx, ty)`'s list is `indices[offsets[i]..offsets[i+1]]` with
+/// `i = ty * tiles_x + tx`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileBins {
     grid: TileGridDims,
-    bins: Vec<Vec<u32>>,
+    /// Row-major per-tile start offsets into `indices`; `tile_count() + 1`
+    /// entries, with `offsets[tile_count()] == indices.len()`.
+    offsets: Vec<u32>,
+    /// Concatenated per-tile splat index lists, each depth-sorted.
+    indices: Vec<u32>,
 }
 
 impl TileBins {
@@ -28,6 +45,76 @@ impl TileBins {
         grid: TileGridDims,
         mut tile_active: F,
     ) -> Self {
+        let tile_count = grid.tile_count();
+        let active: Vec<bool> = (0..grid.tiles_y)
+            .flat_map(|ty| (0..grid.tiles_x).map(move |tx| (tx, ty)))
+            .map(|(tx, ty)| tile_active(tx, ty))
+            .collect();
+
+        // Pass 1: count intersections per tile.
+        let mut counts = vec![0u32; tile_count];
+        for splat in splats {
+            for (tx, ty) in splat.tiles.iter() {
+                let idx = (ty * grid.tiles_x + tx) as usize;
+                counts[idx] += active[idx] as u32;
+            }
+        }
+
+        // Exclusive prefix sum → CSR offsets.
+        let mut offsets = Vec::with_capacity(tile_count + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            running = running
+                .checked_add(c)
+                .expect("tile-intersection count overflows u32 CSR offsets");
+            offsets.push(running);
+        }
+
+        // Pass 2: scatter splat indices to their tile segments. Splats are
+        // visited in model order, so each segment is filled in submission
+        // order — the same order the nested-Vec layout produced.
+        let mut indices = vec![0u32; running as usize];
+        let mut cursor: Vec<u32> = offsets[..tile_count].to_vec();
+        for (si, splat) in splats.iter().enumerate() {
+            for (tx, ty) in splat.tiles.iter() {
+                let idx = (ty * grid.tiles_x + tx) as usize;
+                if active[idx] {
+                    indices[cursor[idx] as usize] = si as u32;
+                    cursor[idx] += 1;
+                }
+            }
+        }
+
+        // Depth-sort each tile segment front-to-back. `sort_by` is stable,
+        // so equal depths keep submission order, matching the previous
+        // layout's behavior exactly.
+        for i in 0..tile_count {
+            let seg = &mut indices[offsets[i] as usize..offsets[i + 1] as usize];
+            seg.sort_by(|&a, &b| {
+                splats[a as usize]
+                    .depth
+                    .partial_cmp(&splats[b as usize].depth)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        Self {
+            grid,
+            offsets,
+            indices,
+        }
+    }
+
+    /// Reference implementation with the old nested `Vec<Vec<u32>>` layout.
+    ///
+    /// Kept as the baseline for the CSR equivalence property test and the
+    /// `binning` benchmark; not used on the render path.
+    pub fn build_naive<F: FnMut(u32, u32) -> bool>(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
+        mut tile_active: F,
+    ) -> Vec<Vec<u32>> {
         let active: Vec<bool> = (0..grid.tiles_y)
             .flat_map(|ty| (0..grid.tiles_x).map(move |tx| (tx, ty)))
             .map(|(tx, ty)| tile_active(tx, ty))
@@ -49,10 +136,11 @@ impl TileBins {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
         }
-        Self { grid, bins }
+        bins
     }
 
     /// Tile-grid geometry.
+    #[inline]
     pub fn grid(&self) -> TileGridDims {
         self.grid
     }
@@ -62,19 +150,47 @@ impl TileBins {
     /// # Panics
     ///
     /// Panics when the tile coordinate is out of the grid.
+    #[inline]
     pub fn tile(&self, tx: u32, ty: u32) -> &[u32] {
-        assert!(tx < self.grid.tiles_x && ty < self.grid.tiles_y, "tile out of grid");
-        &self.bins[(ty * self.grid.tiles_x + tx) as usize]
+        assert!(
+            tx < self.grid.tiles_x && ty < self.grid.tiles_y,
+            "tile out of grid"
+        );
+        let i = (ty * self.grid.tiles_x + tx) as usize;
+        &self.indices[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Intersection count per tile (row-major).
+    /// Iterate all tile segments in row-major order — the sequential access
+    /// pattern of the rasterizer's band loop, without the per-tile index
+    /// arithmetic and bounds checks of repeated [`TileBins::tile`] calls.
+    #[inline]
+    pub fn iter_tiles(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.indices[w[0] as usize..w[1] as usize])
+    }
+
+    /// CSR per-tile offsets (row-major, `tile_count() + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Concatenated depth-sorted splat indices — every entry is one
+    /// tile-ellipse intersection.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Intersection count per tile (row-major): the CSR offset deltas.
     pub fn intersection_counts(&self) -> Vec<u32> {
-        self.bins.iter().map(|b| b.len() as u32).collect()
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Total tile-ellipse intersections.
     pub fn total_intersections(&self) -> u64 {
-        self.bins.iter().map(|b| b.len() as u64).sum()
+        self.indices.len() as u64
     }
 }
 
@@ -85,16 +201,30 @@ mod tests {
     use crate::projection::project_model;
     use ms_math::{Quat, Vec3};
     use ms_scene::{Camera, GaussianModel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn grid() -> TileGridDims {
-        TileGridDims { tiles_x: 8, tiles_y: 8, tile_size: 16 }
+        TileGridDims::for_image(128, 128, 16)
     }
 
     fn scene() -> (GaussianModel, Camera) {
         let mut m = GaussianModel::new(0);
         // Far red splat then near green splat, both centered.
-        m.push_solid(Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.3), Quat::identity(), 0.8, Vec3::new(1.0, 0.0, 0.0));
-        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.3), Quat::identity(), 0.8, Vec3::new(0.0, 1.0, 0.0));
+        m.push_solid(
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::splat(0.3),
+            Quat::identity(),
+            0.8,
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        m.push_solid(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::splat(0.3),
+            Quat::identity(),
+            0.8,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let cam = Camera::look_at(128, 128, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero());
         (m, cam)
     }
@@ -133,6 +263,13 @@ mod tests {
             counts.iter().map(|&c| c as u64).sum::<u64>(),
             bins.total_intersections()
         );
+        // Offsets are monotone and bracket the index array.
+        assert_eq!(bins.offsets().len(), 65);
+        assert!(bins.offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            *bins.offsets().last().unwrap() as usize,
+            bins.indices().len()
+        );
     }
 
     #[test]
@@ -147,5 +284,106 @@ mod tests {
     fn out_of_grid_tile_panics() {
         let bins = TileBins::build(&[], grid());
         let _ = bins.tile(8, 0);
+    }
+
+    /// Random splat sets for the CSR-vs-naive equivalence property.
+    fn random_splats(rng: &mut StdRng, n: usize, g: TileGridDims) -> Vec<ProjectedSplat> {
+        use ms_math::{Conic2, TileRect, Vec2};
+        (0..n)
+            .filter_map(|i| {
+                let cx = rng.gen_range(-10.0..g.width as f32 + 10.0);
+                let cy = rng.gen_range(-10.0..g.height as f32 + 10.0);
+                let radius = rng.gen_range(0.5..60.0f32);
+                let tiles = TileRect::from_circle(
+                    Vec2::new(cx, cy),
+                    radius,
+                    g.tile_size,
+                    g.tiles_x,
+                    g.tiles_y,
+                )?;
+                Some(ProjectedSplat {
+                    point_index: i as u32,
+                    center: Vec2::new(cx, cy),
+                    conic: Conic2 {
+                        a: 1.0,
+                        b: 0.0,
+                        c: 1.0,
+                    },
+                    depth: rng.gen_range(0.1..50.0f32),
+                    radius,
+                    color: ms_math::Vec3::splat(0.5),
+                    opacity: 0.9,
+                    tiles,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_equals_naive_on_random_splat_sets() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for round in 0..50 {
+            let n = rng.gen_range(0usize..400);
+            let splats = random_splats(&mut rng, n, g);
+            // Unfiltered and checkerboard-filtered builds must both match.
+            for parity in [None, Some(0u32), Some(1u32)] {
+                let active = |tx: u32, ty: u32| match parity {
+                    None => true,
+                    Some(p) => (tx + ty) % 2 == p,
+                };
+                let csr = TileBins::build_filtered(&splats, g, active);
+                let naive = TileBins::build_naive(&splats, g, active);
+                for ty in 0..g.tiles_y {
+                    for tx in 0..g.tiles_x {
+                        let i = (ty * g.tiles_x + tx) as usize;
+                        assert_eq!(
+                            csr.tile(tx, ty),
+                            naive[i].as_slice(),
+                            "round {round} parity {parity:?} tile ({tx},{ty})"
+                        );
+                    }
+                }
+                let counts = csr.intersection_counts();
+                for (i, bin) in naive.iter().enumerate() {
+                    assert_eq!(counts[i] as usize, bin.len());
+                }
+                assert_eq!(
+                    csr.total_intersections(),
+                    naive.iter().map(|b| b.len() as u64).sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iter_tiles_matches_indexed_access() {
+        let (m, cam) = scene();
+        let splats = project_model(&m, &cam, &RenderOptions::default());
+        let g = grid();
+        let bins = TileBins::build(&splats, g);
+        let mut count = 0usize;
+        for (i, seg) in bins.iter_tiles().enumerate() {
+            let (tx, ty) = (i as u32 % g.tiles_x, i as u32 / g.tiles_x);
+            assert_eq!(seg, bins.tile(tx, ty));
+            count += 1;
+        }
+        assert_eq!(count, g.tile_count());
+    }
+
+    #[test]
+    fn filtered_build_skips_inactive_tiles() {
+        let (m, cam) = scene();
+        let splats = project_model(&m, &cam, &RenderOptions::default());
+        let g = grid();
+        let bins = TileBins::build_filtered(&splats, g, |tx, _| tx < 4);
+        for ty in 0..g.tiles_y {
+            for tx in 4..g.tiles_x {
+                assert!(
+                    bins.tile(tx, ty).is_empty(),
+                    "inactive tile ({tx},{ty}) not empty"
+                );
+            }
+        }
     }
 }

@@ -60,7 +60,10 @@ impl Image {
     /// Panics when out of bounds.
     #[inline]
     pub fn pixel(&self, x: u32, y: u32) -> Vec3 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize]
     }
 
@@ -71,7 +74,10 @@ impl Image {
     /// Panics when out of bounds.
     #[inline]
     pub fn set_pixel(&mut self, x: u32, y: u32, c: Vec3) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize] = c;
     }
 

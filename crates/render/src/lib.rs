@@ -39,6 +39,7 @@
 mod binning;
 mod image;
 mod options;
+pub mod pipeline;
 mod projection;
 mod raster;
 mod stats;
@@ -46,6 +47,7 @@ mod stats;
 pub use binning::TileBins;
 pub use image::Image;
 pub use options::{RenderOptions, SortMode};
-pub use projection::{project_model, ProjectedSplat};
+pub use pipeline::{FrameProfile, Profiler, Stage, StageKind, StageSample};
+pub use projection::{project_model, project_model_filtered, ProjectedSplat};
 pub use raster::{RenderOutput, Renderer};
 pub use stats::{RenderStats, TileGridDims};

@@ -46,8 +46,12 @@ pub struct RenderOptions {
     /// Record per-point dominance counts (`Val` of Eqn. 3) and per-point
     /// tile-usage counts (`Comp`). Costs one extra image-sized buffer.
     pub track_point_stats: bool,
-    /// Rasterize tiles on multiple threads.
-    pub parallel: bool,
+    /// Rasterization worker threads for the band-parallel Raster stage:
+    /// `1` rasterizes inline on the calling thread (bit-exact with every
+    /// other setting, the determinism reference), `0` uses all available
+    /// cores, `n > 1` uses exactly `n` workers. Output is identical for
+    /// every value — bands are assembled in index order.
+    pub threads: usize,
 }
 
 impl Default for RenderOptions {
@@ -63,7 +67,7 @@ impl Default for RenderOptions {
             sh_degree: ms_math::sh::MAX_DEGREE,
             sort_mode: SortMode::PerTile,
             track_point_stats: false,
-            parallel: false,
+            threads: 1,
         }
     }
 }
@@ -75,6 +79,16 @@ impl RenderOptions {
         Self {
             track_point_stats: true,
             ..Self::default()
+        }
+    }
+
+    /// The worker count the Raster stage will actually use: `threads`
+    /// itself, or the number of available cores when `threads == 0`.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.threads
         }
     }
 
@@ -108,17 +122,36 @@ mod tests {
 
     #[test]
     fn bad_options_rejected() {
-        let mut o = RenderOptions::default();
-        o.tile_size = 0;
+        let o = RenderOptions {
+            tile_size: 0,
+            ..RenderOptions::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = RenderOptions::default();
-        o.alpha_min = 1.5;
+        let o = RenderOptions {
+            alpha_min: 1.5,
+            ..RenderOptions::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = RenderOptions::default();
-        o.alpha_max = o.alpha_min / 2.0;
+        let base = RenderOptions::default();
+        let o = RenderOptions {
+            alpha_max: base.alpha_min / 2.0,
+            ..base
+        };
         assert!(o.validate().is_err());
-        let mut o = RenderOptions::default();
-        o.extent_sigma = 0.0;
+        let o = RenderOptions {
+            extent_sigma: 0.0,
+            ..RenderOptions::default()
+        };
         assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn thread_resolution() {
+        let mut o = RenderOptions::default();
+        assert_eq!(o.resolved_threads(), 1);
+        o.threads = 3;
+        assert_eq!(o.resolved_threads(), 3);
+        o.threads = 0;
+        assert!(o.resolved_threads() >= 1);
     }
 }

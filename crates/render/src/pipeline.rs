@@ -1,0 +1,503 @@
+//! The staged frame pipeline: **Project → Bin → Raster → Composite**.
+//!
+//! # Stage graph
+//!
+//! Every frame flows through four named stages, mirroring the tile pipeline
+//! of the paper's §2.1 (Projection → Sorting → Rasterization) with an
+//! explicit composite step for band assembly:
+//!
+//! ```text
+//!   GaussianModel ──▶ [Project] ──▶ Vec<ProjectedSplat>
+//!                                     │
+//!                                     ▼
+//!                                  [Bin]     counting-sort CSR tile bins
+//!                                     │
+//!                                     ▼
+//!                                  [Raster]  per-band compositing
+//!                                     │      (serial or `threads`-way parallel)
+//!                                     ▼
+//!                                  [Composite] band merge → Image + winners
+//! ```
+//!
+//! Each stage is a [`Stage`] implementation executed by a [`Profiler`],
+//! which records one [`StageSample`] per stage — wall time plus a
+//! stage-specific work counter — into the [`FrameProfile`] returned inside
+//! [`RenderStats`](crate::RenderStats). The counters are the paper's
+//! workload quantities, measured where they are produced:
+//!
+//! | Stage     | work counter                                      |
+//! |-----------|---------------------------------------------------|
+//! | Project   | splats surviving culling (`points_projected`)     |
+//! | Bin       | tile-ellipse intersections (CSR index length)     |
+//! | Raster    | compositing steps executed (after early-stop)     |
+//! | Composite | pixels written to the output image                |
+//!
+//! # How `AccelWorkload` is derived from `RenderStats`
+//!
+//! The accelerator simulator (`ms-accel`) consumes exactly what the
+//! renderer measured — there is no independent re-derivation:
+//!
+//! * per-tile intersection counts come straight from the CSR offset
+//!   deltas ([`TileBins::intersection_counts`](crate::TileBins)), carried
+//!   in `RenderStats::tile_intersections`;
+//! * per-tile pixel counts come from the tile grid clipped to the image
+//!   ([`TileGridDims::tile_pixel_count`](crate::TileGridDims)), so edge
+//!   tiles are not padded to `tile_size²`;
+//! * projection work is the Project stage's counter; compositing work is
+//!   the Raster stage's counter.
+//!
+//! By construction, a frame's simulated workload and its measured software
+//! workload are the same numbers.
+
+use crate::binning::TileBins;
+use crate::image::Image;
+use crate::options::RenderOptions;
+use crate::projection::{project_model_filtered, ProjectedSplat};
+use crate::raster::{rasterize_band, BandResult};
+use crate::stats::TileGridDims;
+use ms_scene::{Camera, GaussianModel};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The four pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Cull + project Gaussians to screen-space splats.
+    Project,
+    /// Build depth-sorted CSR tile bins (the paper's Sorting stage).
+    Bin,
+    /// Per-band alpha compositing (the paper's Rasterization stage).
+    Raster,
+    /// Merge rasterized bands into the output image.
+    Composite,
+}
+
+impl StageKind {
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Project => "project",
+            StageKind::Bin => "bin",
+            StageKind::Raster => "raster",
+            StageKind::Composite => "composite",
+        }
+    }
+}
+
+/// One stage execution: wall time plus the stage's work counter.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StageSample {
+    /// Which stage ran.
+    pub kind: StageKind,
+    /// Wall-clock time the stage took.
+    pub wall: Duration,
+    /// Stage-specific work counter (see the module table).
+    pub items: u64,
+}
+
+/// Per-frame execution profile: one [`StageSample`] per executed stage, in
+/// execution order.
+///
+/// Frames rendered from pre-projected splats
+/// ([`Renderer::render_splats`](crate::Renderer::render_splats)) carry no
+/// `Project` sample — the profile records what actually ran.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FrameProfile {
+    /// Samples in execution order.
+    pub samples: Vec<StageSample>,
+}
+
+/// Equality compares the *semantic* part of the profile — stage kinds and
+/// work counters — and deliberately ignores wall times, which differ
+/// between otherwise identical runs. This keeps `RenderStats: PartialEq`
+/// meaningful for determinism tests.
+impl PartialEq for FrameProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples.len() == other.samples.len()
+            && self
+                .samples
+                .iter()
+                .zip(&other.samples)
+                .all(|(a, b)| a.kind == b.kind && a.items == b.items)
+    }
+}
+
+impl FrameProfile {
+    /// Total wall time over `kind` samples.
+    pub fn wall(&self, kind: StageKind) -> Duration {
+        self.samples
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Total work counter over `kind` samples.
+    pub fn items(&self, kind: StageKind) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.items)
+            .sum()
+    }
+
+    /// Total wall time across all stages.
+    pub fn total_wall(&self) -> Duration {
+        self.samples.iter().map(|s| s.wall).sum()
+    }
+
+    /// Fold `other`'s samples into `self` (used by the foveated renderer to
+    /// aggregate per-level passes into one frame profile).
+    pub fn absorb(&mut self, other: &FrameProfile) {
+        for s in &other.samples {
+            match self.samples.iter_mut().find(|m| m.kind == s.kind) {
+                Some(m) => {
+                    m.wall += s.wall;
+                    m.items += s.items;
+                }
+                None => self.samples.push(*s),
+            }
+        }
+    }
+}
+
+/// A named unit of frame work with a measurable output.
+///
+/// Stages are deliberately synchronous and single-shot: the pipeline's
+/// control flow lives in [`Profiler::run`], not in the stages, so adding a
+/// stage (or reordering around one) is a local change.
+pub trait Stage {
+    /// Input consumed by the stage.
+    type In;
+    /// Output produced by the stage.
+    type Out;
+
+    /// Which pipeline stage this is.
+    fn kind(&self) -> StageKind;
+
+    /// Execute the stage.
+    fn run(&mut self, input: Self::In) -> Self::Out;
+
+    /// The stage's work counter, measured on its output.
+    fn items(&self, out: &Self::Out) -> u64;
+}
+
+/// Runs stages and accumulates their [`StageSample`]s.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    samples: Vec<StageSample>,
+}
+
+impl Profiler {
+    /// Time one stage and record its sample.
+    pub fn run<S: Stage>(&mut self, stage: &mut S, input: S::In) -> S::Out {
+        let start = Instant::now();
+        let out = stage.run(input);
+        self.samples.push(StageSample {
+            kind: stage.kind(),
+            wall: start.elapsed(),
+            items: stage.items(&out),
+        });
+        out
+    }
+
+    /// Finish the frame, yielding its profile.
+    pub fn finish(self) -> FrameProfile {
+        FrameProfile {
+            samples: self.samples,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete stages
+// ---------------------------------------------------------------------------
+
+/// Projection stage: model → screen-space splats (with admission predicate).
+pub struct ProjectStage<'a, F: FnMut(usize) -> bool> {
+    /// Model to project.
+    pub model: &'a GaussianModel,
+    /// View camera.
+    pub camera: &'a Camera,
+    /// Render options.
+    pub options: &'a RenderOptions,
+    /// Per-point admission predicate (foveation Filtering).
+    pub admit: F,
+}
+
+impl<F: FnMut(usize) -> bool> Stage for ProjectStage<'_, F> {
+    type In = ();
+    type Out = Vec<ProjectedSplat>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Project
+    }
+
+    fn run(&mut self, _input: ()) -> Self::Out {
+        project_model_filtered(self.model, self.camera, self.options, &mut self.admit)
+    }
+
+    fn items(&self, out: &Self::Out) -> u64 {
+        out.len() as u64
+    }
+}
+
+/// Binning stage: splats → depth-sorted CSR tile bins, optionally restricted
+/// to tiles with at least one active mask pixel.
+pub struct BinStage<'a> {
+    /// Splats to bin.
+    pub splats: &'a [ProjectedSplat],
+    /// Tile grid.
+    pub grid: TileGridDims,
+    /// Optional per-pixel mask (row-major, `width × height`).
+    pub mask: Option<&'a [bool]>,
+}
+
+impl Stage for BinStage<'_> {
+    type In = ();
+    type Out = TileBins;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Bin
+    }
+
+    fn run(&mut self, _input: ()) -> Self::Out {
+        match self.mask {
+            None => TileBins::build(self.splats, self.grid),
+            Some(mask) => {
+                let g = self.grid;
+                TileBins::build_filtered(self.splats, g, |tx, ty| {
+                    let x_end = ((tx + 1) * g.tile_size).min(g.width);
+                    let y_end = ((ty + 1) * g.tile_size).min(g.height);
+                    for y in (ty * g.tile_size)..y_end {
+                        for x in (tx * g.tile_size)..x_end {
+                            if mask[(y * g.width + x) as usize] {
+                                return true;
+                            }
+                        }
+                    }
+                    false
+                })
+            }
+        }
+    }
+
+    fn items(&self, out: &Self::Out) -> u64 {
+        out.total_intersections()
+    }
+}
+
+/// Rasterization stage: tile bins → per-band pixel runs.
+///
+/// Bands (horizontal tile rows) are independent, so they rasterize on
+/// `threads` workers pulling band indices from a shared counter. Band
+/// results land in per-band slots, making the output — and therefore the
+/// composited image — bit-identical for every thread count;
+/// `threads == 1` runs inline without spawning.
+pub struct RasterStage<'a> {
+    /// Projected splats (bins index into these).
+    pub splats: &'a [ProjectedSplat],
+    /// Render options.
+    pub options: &'a RenderOptions,
+    /// View camera.
+    pub camera: &'a Camera,
+    /// Optional per-pixel mask.
+    pub mask: Option<&'a [bool]>,
+}
+
+impl<'a> Stage for RasterStage<'a> {
+    type In = &'a TileBins;
+    type Out = Vec<BandResult>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Raster
+    }
+
+    fn run(&mut self, bins: &'a TileBins) -> Self::Out {
+        let grid = bins.grid();
+        let threads = self
+            .options
+            .resolved_threads()
+            .min(grid.tiles_y.max(1) as usize);
+        if threads <= 1 || grid.tiles_y <= 1 {
+            return (0..grid.tiles_y)
+                .map(|ty| {
+                    rasterize_band(self.options, self.splats, bins, self.camera, ty, self.mask)
+                })
+                .collect();
+        }
+
+        // Workers pop band indices from a shared counter; each band result
+        // lands in its own slot, so assembly order — and the composited
+        // image — is independent of scheduling.
+        let next = std::sync::atomic::AtomicU32::new(0);
+        let slots: Vec<std::sync::Mutex<Option<BandResult>>> = (0..grid.tiles_y)
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let splats = self.splats;
+        let options = self.options;
+        let camera = self.camera;
+        let mask = self.mask;
+        rayon::scope(|s| {
+            for _ in 0..threads {
+                let next = &next;
+                let slots = &slots;
+                s.spawn(move |_| loop {
+                    let ty = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if ty >= grid.tiles_y {
+                        break;
+                    }
+                    let band = rasterize_band(options, splats, bins, camera, ty, mask);
+                    *slots[ty as usize].lock().expect("band slot poisoned") = Some(band);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(ty, cell)| {
+                cell.into_inner()
+                    .expect("band slot poisoned")
+                    .unwrap_or_else(|| panic!("band {ty} missing"))
+            })
+            .collect()
+    }
+
+    fn items(&self, out: &Self::Out) -> u64 {
+        out.iter().map(|b| b.blend_steps).sum()
+    }
+}
+
+/// Composite stage: ordered bands → final image (+ per-pixel winners).
+pub struct CompositeStage<'a> {
+    /// View camera (output dimensions).
+    pub camera: &'a Camera,
+    /// Background color for pixels no band covers.
+    pub options: &'a RenderOptions,
+    /// Whether winner tracking is on.
+    pub track_winners: bool,
+}
+
+/// Output of the composite stage.
+pub struct Composited {
+    /// The assembled image.
+    pub image: Image,
+    /// Winning point index per pixel (`u32::MAX` = none); empty unless
+    /// winner tracking is on.
+    pub winners: Vec<u32>,
+    /// Total compositing steps across bands.
+    pub blend_steps: u64,
+}
+
+impl Stage for CompositeStage<'_> {
+    type In = Vec<BandResult>;
+    type Out = Composited;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Composite
+    }
+
+    fn run(&mut self, bands: Vec<BandResult>) -> Self::Out {
+        let cam = self.camera;
+        let mut image = Image::filled(cam.width, cam.height, self.options.background);
+        let mut winners: Vec<u32> = if self.track_winners {
+            vec![u32::MAX; (cam.width * cam.height) as usize]
+        } else {
+            Vec::new()
+        };
+        let mut blend_steps = 0u64;
+        for band in bands {
+            blend_steps += band.blend_steps;
+            let rows = band.pixels.len() as u32 / cam.width;
+            for dy in 0..rows {
+                let y = band.y_start + dy;
+                for x in 0..cam.width {
+                    let idx = (dy * cam.width + x) as usize;
+                    image.set_pixel(x, y, band.pixels[idx]);
+                    if self.track_winners {
+                        winners[(y * cam.width + x) as usize] = band.winners[idx];
+                    }
+                }
+            }
+        }
+        Composited {
+            image,
+            winners,
+            blend_steps,
+        }
+    }
+
+    fn items(&self, out: &Self::Out) -> u64 {
+        (out.image.width() * out.image.height()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_equality_ignores_wall_time() {
+        let a = FrameProfile {
+            samples: vec![StageSample {
+                kind: StageKind::Bin,
+                wall: Duration::from_millis(5),
+                items: 42,
+            }],
+        };
+        let b = FrameProfile {
+            samples: vec![StageSample {
+                kind: StageKind::Bin,
+                wall: Duration::from_millis(900),
+                items: 42,
+            }],
+        };
+        assert_eq!(a, b);
+        let c = FrameProfile {
+            samples: vec![StageSample {
+                kind: StageKind::Bin,
+                wall: Duration::ZERO,
+                items: 43,
+            }],
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn absorb_merges_by_kind() {
+        let mut a = FrameProfile {
+            samples: vec![StageSample {
+                kind: StageKind::Raster,
+                wall: Duration::from_micros(10),
+                items: 100,
+            }],
+        };
+        let b = FrameProfile {
+            samples: vec![
+                StageSample {
+                    kind: StageKind::Raster,
+                    wall: Duration::from_micros(5),
+                    items: 50,
+                },
+                StageSample {
+                    kind: StageKind::Project,
+                    wall: Duration::from_micros(1),
+                    items: 7,
+                },
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.items(StageKind::Raster), 150);
+        assert_eq!(a.items(StageKind::Project), 7);
+        assert_eq!(a.wall(StageKind::Raster), Duration::from_micros(15));
+        assert_eq!(a.samples.len(), 2);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(StageKind::Project.name(), "project");
+        assert_eq!(StageKind::Bin.name(), "bin");
+        assert_eq!(StageKind::Raster.name(), "raster");
+        assert_eq!(StageKind::Composite.name(), "composite");
+    }
+}

@@ -152,7 +152,8 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
         if radius < 0.5 {
             continue;
         }
-        let Some(tiles) = TileRect::from_circle(center, radius, options.tile_size, tiles_x, tiles_y)
+        let Some(tiles) =
+            TileRect::from_circle(center, radius, options.tile_size, tiles_x, tiles_y)
         else {
             continue;
         };
@@ -179,7 +180,13 @@ mod tests {
 
     fn single_point_model(pos: Vec3, scale: Vec3, opacity: f32) -> GaussianModel {
         let mut m = GaussianModel::new(0);
-        m.push_solid(pos, scale, Quat::identity(), opacity, Vec3::new(0.8, 0.4, 0.2));
+        m.push_solid(
+            pos,
+            scale,
+            Quat::identity(),
+            opacity,
+            Vec3::new(0.8, 0.4, 0.2),
+        );
         m
     }
 
@@ -203,7 +210,10 @@ mod tests {
         let m = single_point_model(Vec3::zero(), Vec3::splat(0.2), 0.9);
         let splats = project_model(&m, &cam(), &RenderOptions::default());
         let c = splats[0].conic;
-        assert!((c.a - c.c).abs() / c.a < 0.05, "conic {c:?} should be isotropic");
+        assert!(
+            (c.a - c.c).abs() / c.a < 0.05,
+            "conic {c:?} should be isotropic"
+        );
         assert!(c.b.abs() / c.a < 0.05);
     }
 
@@ -213,8 +223,10 @@ mod tests {
         let depth = 4.0f32;
         let m = single_point_model(Vec3::zero(), Vec3::splat(sigma_world), 0.9);
         let camera = cam();
-        let mut opts = RenderOptions::default();
-        opts.dilation = 0.0;
+        let opts = RenderOptions {
+            dilation: 0.0,
+            ..RenderOptions::default()
+        };
         let splats = project_model(&m, &camera, &opts);
         let expected_sigma_px = camera.focal_y() * sigma_world / depth;
         let radius = splats[0].radius;
@@ -246,8 +258,20 @@ mod tests {
     #[test]
     fn closer_point_is_bigger() {
         let mut m = GaussianModel::new(0);
-        m.push_solid(Vec3::zero(), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
-        m.push_solid(Vec3::new(0.0, 0.0, 2.0), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
+        m.push_solid(
+            Vec3::zero(),
+            Vec3::splat(0.1),
+            Quat::identity(),
+            0.9,
+            Vec3::one(),
+        );
+        m.push_solid(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::splat(0.1),
+            Quat::identity(),
+            0.9,
+            Vec3::one(),
+        );
         let splats = project_model(&m, &cam(), &RenderOptions::default());
         assert_eq!(splats.len(), 2);
         assert!(splats[1].radius > splats[0].radius);
@@ -266,8 +290,7 @@ mod tests {
                 Vec3::one(),
             );
         }
-        let splats =
-            project_model_filtered(&m, &cam(), &RenderOptions::default(), |i| i % 2 == 0);
+        let splats = project_model_filtered(&m, &cam(), &RenderOptions::default(), |i| i % 2 == 0);
         assert_eq!(splats.len(), 2);
         assert_eq!(splats[0].point_index, 0);
         assert_eq!(splats[1].point_index, 2);

@@ -1,9 +1,15 @@
-//! Rasterization stage and the top-level [`Renderer`].
+//! Rasterization kernels and the top-level [`Renderer`].
+//!
+//! The renderer itself is thin: every entry point assembles the staged
+//! frame pipeline from [`crate::pipeline`] (Project → Bin → Raster →
+//! Composite) and runs it under a [`Profiler`], so per-stage wall time and
+//! work counters land in [`RenderStats::profile`]. This module keeps the
+//! per-band and per-pixel compositing kernels the Raster stage executes.
 
 use crate::binning::TileBins;
-use crate::image::Image;
 use crate::options::{RenderOptions, SortMode};
-use crate::projection::{project_model_filtered, ProjectedSplat};
+use crate::pipeline::{BinStage, CompositeStage, Composited, Profiler, ProjectStage, RasterStage};
+use crate::projection::ProjectedSplat;
 use crate::stats::{RenderStats, TileGridDims};
 use ms_math::Vec2;
 use ms_scene::{Camera, GaussianModel};
@@ -12,9 +18,14 @@ use ms_scene::{Camera, GaussianModel};
 #[derive(Debug, Clone, PartialEq)]
 pub struct RenderOutput {
     /// The rendered image.
-    pub image: Image,
+    pub image: crate::image::Image,
     /// Workload statistics of the pass.
     pub stats: RenderStats,
+    /// Winning splat *point index* per pixel (`u32::MAX` = none); empty
+    /// unless `track_point_stats` was set. Row-major. Exposed so
+    /// determinism tests can compare full winner buffers, not just their
+    /// per-point aggregation.
+    pub winners: Vec<u32>,
 }
 
 /// The tile-based splatting renderer.
@@ -23,16 +34,18 @@ pub struct Renderer {
     options: RenderOptions,
 }
 
-/// Output of rasterizing one horizontal band of tiles.
-struct BandResult {
+/// Output of rasterizing one horizontal band of tiles — the unit of work
+/// the parallel Raster stage distributes and the Composite stage merges.
+#[derive(Debug)]
+pub struct BandResult {
     /// First pixel row of the band.
-    y_start: u32,
+    pub y_start: u32,
     /// Pixels (row-major within the band).
-    pixels: Vec<ms_math::Vec3>,
-    /// Winning splat *point index* per pixel (u32::MAX = none).
-    winners: Vec<u32>,
+    pub pixels: Vec<ms_math::Vec3>,
+    /// Winning splat *point index* per pixel (`u32::MAX` = none).
+    pub winners: Vec<u32>,
     /// Compositing steps executed.
-    blend_steps: u64,
+    pub blend_steps: u64,
 }
 
 impl Renderer {
@@ -65,8 +78,17 @@ impl Renderer {
         camera: &Camera,
         admit: F,
     ) -> RenderOutput {
-        let splats = project_model_filtered(model, camera, &self.options, admit);
-        self.render_splats(model.len(), &splats, camera)
+        let mut profiler = Profiler::default();
+        let splats = profiler.run(
+            &mut ProjectStage {
+                model,
+                camera,
+                options: &self.options,
+                admit,
+            },
+            (),
+        );
+        self.run_pipeline(model.len(), &splats, camera, None, profiler)
     }
 
     /// Render only the pixels where `mask` is true (row-major, one entry
@@ -89,96 +111,75 @@ impl Renderer {
             (camera.width * camera.height) as usize,
             "pixel mask size mismatch"
         );
-        let splats = project_model_filtered(model, camera, &self.options, admit);
-        self.render_splats_inner(model.len(), &splats, camera, Some(mask))
+        let mut profiler = Profiler::default();
+        let splats = profiler.run(
+            &mut ProjectStage {
+                model,
+                camera,
+                options: &self.options,
+                admit,
+            },
+            (),
+        );
+        self.run_pipeline(model.len(), &splats, camera, Some(mask), profiler)
     }
 
     /// Rasterize pre-projected splats. Exposed so callers that re-render the
     /// same projection (e.g. the trainer's forward/backward passes) can skip
-    /// re-projection.
+    /// re-projection; the resulting profile carries no Project sample.
     pub fn render_splats(
         &self,
         model_len: usize,
         splats: &[ProjectedSplat],
         camera: &Camera,
     ) -> RenderOutput {
-        self.render_splats_inner(model_len, splats, camera, None)
+        self.run_pipeline(model_len, splats, camera, None, Profiler::default())
     }
 
-    fn render_splats_inner(
+    /// Run Bin → Raster → Composite over projected splats and assemble
+    /// [`RenderStats`] from what the stages measured.
+    fn run_pipeline(
         &self,
         model_len: usize,
         splats: &[ProjectedSplat],
         camera: &Camera,
         mask: Option<&[bool]>,
+        mut profiler: Profiler,
     ) -> RenderOutput {
-        let grid = TileGridDims {
-            tiles_x: camera.width.div_ceil(self.options.tile_size),
-            tiles_y: camera.height.div_ceil(self.options.tile_size),
-            tile_size: self.options.tile_size,
-        };
-        let bins = match mask {
-            None => TileBins::build(splats, grid),
-            Some(mask) => {
-                let ts = self.options.tile_size;
-                TileBins::build_filtered(splats, grid, |tx, ty| {
-                    let x_end = ((tx + 1) * ts).min(camera.width);
-                    let y_end = ((ty + 1) * ts).min(camera.height);
-                    for y in (ty * ts)..y_end {
-                        for x in (tx * ts)..x_end {
-                            if mask[(y * camera.width + x) as usize] {
-                                return true;
-                            }
-                        }
-                    }
-                    false
-                })
-            }
-        };
-
-        let mut image = Image::filled(camera.width, camera.height, self.options.background);
+        let grid = TileGridDims::for_image(camera.width, camera.height, self.options.tile_size);
         let track = self.options.track_point_stats;
-        let mut winners: Vec<u32> = if track {
-            vec![u32::MAX; (camera.width * camera.height) as usize]
-        } else {
-            Vec::new()
-        };
 
-        let bands: Vec<BandResult> = if self.options.parallel && grid.tiles_y > 1 {
-            self.rasterize_parallel(splats, &bins, camera, grid, mask)
-        } else {
-            (0..grid.tiles_y)
-                .map(|ty| self.rasterize_band(splats, &bins, camera, grid, ty, mask))
-                .collect()
-        };
-
-        let mut blend_steps = 0u64;
-        for band in bands {
-            blend_steps += band.blend_steps;
-            let rows = band.pixels.len() as u32 / camera.width;
-            for dy in 0..rows {
-                let y = band.y_start + dy;
-                for x in 0..camera.width {
-                    let idx = (dy * camera.width + x) as usize;
-                    image.set_pixel(x, y, band.pixels[idx]);
-                    if track {
-                        winners[(y * camera.width + x) as usize] = band.winners[idx];
-                    }
-                }
-            }
-        }
+        let bins = profiler.run(&mut BinStage { splats, grid, mask }, ());
+        let bands = profiler.run(
+            &mut RasterStage {
+                splats,
+                options: &self.options,
+                camera,
+                mask,
+            },
+            &bins,
+        );
+        let Composited {
+            image,
+            winners,
+            blend_steps,
+        } = profiler.run(
+            &mut CompositeStage {
+                camera,
+                options: &self.options,
+                track_winners: track,
+            },
+            bands,
+        );
 
         let tile_intersections = bins.intersection_counts();
         let total_intersections = bins.total_intersections();
         let (point_tiles_used, point_pixels_dominated) = if track {
-            // Derived from the bins so masked-out tiles do not count.
+            // Derived from the CSR bins so masked-out tiles do not count:
+            // every CSR index entry is one (tile, splat) intersection.
             let mut tiles_used = vec![0u32; model_len];
-            for ty in 0..grid.tiles_y {
-                for tx in 0..grid.tiles_x {
-                    for &si in bins.tile(tx, ty) {
-                        tiles_used[splats[si as usize].point_index as usize] += 1;
-                    }
-                }
+            for &si in bins.indices() {
+                tiles_used[splats[si as usize].point_index as usize] += 1;
             }
             let mut dominated = vec![0u32; model_len];
             for &w in &winners {
@@ -202,189 +203,10 @@ impl Renderer {
                 blend_steps,
                 point_tiles_used,
                 point_pixels_dominated,
+                profile: profiler.finish(),
             },
+            winners,
         }
-    }
-
-    fn rasterize_parallel(
-        &self,
-        splats: &[ProjectedSplat],
-        bins: &TileBins,
-        camera: &Camera,
-        grid: TileGridDims,
-        mask: Option<&[bool]>,
-    ) -> Vec<BandResult> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(grid.tiles_y as usize)
-            .max(1);
-        let next = std::sync::atomic::AtomicU32::new(0);
-        let mut results: Vec<Option<BandResult>> = Vec::new();
-        results.resize_with(grid.tiles_y as usize, || None);
-        let results_mutex = std::sync::Mutex::new(&mut results);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let ty = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if ty >= grid.tiles_y {
-                        break;
-                    }
-                    let band = self.rasterize_band(splats, bins, camera, grid, ty, mask);
-                    results_mutex.lock().unwrap()[ty as usize] = Some(band);
-                });
-            }
-        })
-        .expect("rasterization worker panicked");
-        results.into_iter().map(|b| b.expect("band missing")).collect()
-    }
-
-    /// Rasterize one horizontal band (all tiles with the given tile row).
-    fn rasterize_band(
-        &self,
-        splats: &[ProjectedSplat],
-        bins: &TileBins,
-        camera: &Camera,
-        grid: TileGridDims,
-        ty: u32,
-        mask: Option<&[bool]>,
-    ) -> BandResult {
-        let ts = grid.tile_size;
-        let y_start = ty * ts;
-        let y_end = (y_start + ts).min(camera.height);
-        let rows = y_end - y_start;
-        let mut pixels = vec![self.options.background; (rows * camera.width) as usize];
-        let mut winners = vec![u32::MAX; (rows * camera.width) as usize];
-        let mut blend_steps = 0u64;
-        let track = self.options.track_point_stats;
-
-        // Scratch buffer for the per-pixel sort mode.
-        let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
-
-        for tx in 0..grid.tiles_x {
-            let list = bins.tile(tx, ty);
-            if list.is_empty() {
-                continue;
-            }
-            let x_start = tx * ts;
-            let x_end = (x_start + ts).min(camera.width);
-            for y in y_start..y_end {
-                for x in x_start..x_end {
-                    if let Some(mask) = mask {
-                        if !mask[(y * camera.width + x) as usize] {
-                            continue;
-                        }
-                    }
-                    let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
-                    let out_idx = ((y - y_start) * camera.width + x) as usize;
-                    match self.options.sort_mode {
-                        SortMode::PerTile => {
-                            let (color, winner, steps) = self.composite_pixel(splats, list, px);
-                            pixels[out_idx] = color;
-                            if track {
-                                winners[out_idx] = winner;
-                            }
-                            blend_steps += steps;
-                        }
-                        SortMode::PerPixel => {
-                            let (color, winner, steps) =
-                                self.composite_pixel_sorted(splats, list, px, &mut contribs);
-                            pixels[out_idx] = color;
-                            if track {
-                                winners[out_idx] = winner;
-                            }
-                            blend_steps += steps;
-                        }
-                    }
-                }
-            }
-        }
-        BandResult { y_start, pixels, winners, blend_steps }
-    }
-
-    /// Composite one pixel front-to-back over a depth-sorted splat list.
-    /// Returns (color, dominating point index or MAX, blend steps).
-    #[inline]
-    fn composite_pixel(
-        &self,
-        splats: &[ProjectedSplat],
-        list: &[u32],
-        px: Vec2,
-    ) -> (ms_math::Vec3, u32, u64) {
-        let o = &self.options;
-        let mut color = ms_math::Vec3::zero();
-        let mut t = 1.0f32;
-        let mut best_w = 0.0f32;
-        let mut best = u32::MAX;
-        let mut steps = 0u64;
-        for &si in list {
-            let s = &splats[si as usize];
-            let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
-            if alpha < o.alpha_min {
-                continue;
-            }
-            steps += 1;
-            let w = t * alpha;
-            color += s.color * w;
-            if w > best_w {
-                best_w = w;
-                best = s.point_index;
-            }
-            t *= 1.0 - alpha;
-            if t < o.t_min {
-                break;
-            }
-        }
-        color += self.options.background * t;
-        (color, best, steps)
-    }
-
-    /// Per-pixel sorted compositing (StopThePop-style).
-    ///
-    /// Our splats retain only their center depth, so the per-pixel key is
-    /// the same center depth the tile sort used — the output matches
-    /// [`Self::composite_pixel`], but the gather+sort cost per pixel is
-    /// real, which is what the StopThePop FPS baseline measures (it trades
-    /// throughput for view-consistent ordering).
-    #[inline]
-    fn composite_pixel_sorted(
-        &self,
-        splats: &[ProjectedSplat],
-        list: &[u32],
-        px: Vec2,
-        contribs: &mut Vec<(f32, f32, ms_math::Vec3, u32)>,
-    ) -> (ms_math::Vec3, u32, u64) {
-        let o = &self.options;
-        contribs.clear();
-        for &si in list {
-            let s = &splats[si as usize];
-            let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
-            if alpha < o.alpha_min {
-                continue;
-            }
-            contribs.push((s.depth, alpha, s.color, s.point_index));
-        }
-        contribs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut color = ms_math::Vec3::zero();
-        let mut t = 1.0f32;
-        let mut best_w = 0.0f32;
-        let mut best = u32::MAX;
-        let mut steps = 0u64;
-        for &(_, alpha, c, pi) in contribs.iter() {
-            steps += 1;
-            let w = t * alpha;
-            color += c * w;
-            if w > best_w {
-                best_w = w;
-                best = pi;
-            }
-            t *= 1.0 - alpha;
-            if t < o.t_min {
-                break;
-            }
-        }
-        color += self.options.background * t;
-        (color, best, steps)
     }
 }
 
@@ -394,9 +216,161 @@ impl Default for Renderer {
     }
 }
 
+/// Rasterize one horizontal band (all tiles in tile row `ty`).
+pub(crate) fn rasterize_band(
+    options: &RenderOptions,
+    splats: &[ProjectedSplat],
+    bins: &TileBins,
+    camera: &Camera,
+    ty: u32,
+    mask: Option<&[bool]>,
+) -> BandResult {
+    let grid = bins.grid();
+    let ts = grid.tile_size;
+    let y_start = ty * ts;
+    let y_end = (y_start + ts).min(camera.height);
+    let rows = y_end - y_start;
+    let mut pixels = vec![options.background; (rows * camera.width) as usize];
+    let mut winners = vec![u32::MAX; (rows * camera.width) as usize];
+    let mut blend_steps = 0u64;
+    let track = options.track_point_stats;
+
+    // Scratch buffer for the per-pixel sort mode.
+    let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
+
+    for tx in 0..grid.tiles_x {
+        let list = bins.tile(tx, ty);
+        if list.is_empty() {
+            continue;
+        }
+        let x_start = tx * ts;
+        let x_end = (x_start + ts).min(camera.width);
+        for y in y_start..y_end {
+            for x in x_start..x_end {
+                if let Some(mask) = mask {
+                    if !mask[(y * camera.width + x) as usize] {
+                        continue;
+                    }
+                }
+                let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+                let out_idx = ((y - y_start) * camera.width + x) as usize;
+                match options.sort_mode {
+                    SortMode::PerTile => {
+                        let (color, winner, steps) = composite_pixel(options, splats, list, px);
+                        pixels[out_idx] = color;
+                        if track {
+                            winners[out_idx] = winner;
+                        }
+                        blend_steps += steps;
+                    }
+                    SortMode::PerPixel => {
+                        let (color, winner, steps) =
+                            composite_pixel_sorted(options, splats, list, px, &mut contribs);
+                        pixels[out_idx] = color;
+                        if track {
+                            winners[out_idx] = winner;
+                        }
+                        blend_steps += steps;
+                    }
+                }
+            }
+        }
+    }
+    BandResult {
+        y_start,
+        pixels,
+        winners,
+        blend_steps,
+    }
+}
+
+/// Composite one pixel front-to-back over a depth-sorted splat list.
+/// Returns (color, dominating point index or MAX, blend steps).
+#[inline]
+fn composite_pixel(
+    o: &RenderOptions,
+    splats: &[ProjectedSplat],
+    list: &[u32],
+    px: Vec2,
+) -> (ms_math::Vec3, u32, u64) {
+    let mut color = ms_math::Vec3::zero();
+    let mut t = 1.0f32;
+    let mut best_w = 0.0f32;
+    let mut best = u32::MAX;
+    let mut steps = 0u64;
+    for &si in list {
+        let s = &splats[si as usize];
+        let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
+        if alpha < o.alpha_min {
+            continue;
+        }
+        steps += 1;
+        let w = t * alpha;
+        color += s.color * w;
+        if w > best_w {
+            best_w = w;
+            best = s.point_index;
+        }
+        t *= 1.0 - alpha;
+        if t < o.t_min {
+            break;
+        }
+    }
+    color += o.background * t;
+    (color, best, steps)
+}
+
+/// Per-pixel sorted compositing (StopThePop-style).
+///
+/// Our splats retain only their center depth, so the per-pixel key is
+/// the same center depth the tile sort used — the output matches
+/// [`composite_pixel`], but the gather+sort cost per pixel is
+/// real, which is what the StopThePop FPS baseline measures (it trades
+/// throughput for view-consistent ordering).
+#[inline]
+fn composite_pixel_sorted(
+    o: &RenderOptions,
+    splats: &[ProjectedSplat],
+    list: &[u32],
+    px: Vec2,
+    contribs: &mut Vec<(f32, f32, ms_math::Vec3, u32)>,
+) -> (ms_math::Vec3, u32, u64) {
+    contribs.clear();
+    for &si in list {
+        let s = &splats[si as usize];
+        let alpha = (s.opacity * s.conic.gaussian_weight(px - s.center)).min(o.alpha_max);
+        if alpha < o.alpha_min {
+            continue;
+        }
+        contribs.push((s.depth, alpha, s.color, s.point_index));
+    }
+    contribs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut color = ms_math::Vec3::zero();
+    let mut t = 1.0f32;
+    let mut best_w = 0.0f32;
+    let mut best = u32::MAX;
+    let mut steps = 0u64;
+    for &(_, alpha, c, pi) in contribs.iter() {
+        steps += 1;
+        let w = t * alpha;
+        color += c * w;
+        if w > best_w {
+            best_w = w;
+            best = pi;
+        }
+        t *= 1.0 - alpha;
+        if t < o.t_min {
+            break;
+        }
+    }
+    color += o.background * t;
+    (color, best, steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::StageKind;
     use ms_math::{Quat, Vec3};
 
     fn cam(w: u32, h: u32) -> Camera {
@@ -414,8 +388,10 @@ mod tests {
     #[test]
     fn empty_model_renders_background() {
         let m = GaussianModel::new(0);
-        let mut opts = RenderOptions::default();
-        opts.background = Vec3::new(0.1, 0.2, 0.3);
+        let opts = RenderOptions {
+            background: Vec3::new(0.1, 0.2, 0.3),
+            ..RenderOptions::default()
+        };
         let out = Renderer::new(opts).render(&m, &cam(64, 64));
         assert_eq!(out.image.pixel(10, 10), Vec3::new(0.1, 0.2, 0.3));
         assert_eq!(out.stats.total_intersections, 0);
@@ -423,7 +399,12 @@ mod tests {
 
     #[test]
     fn single_splat_colors_center() {
-        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.3), 0.95, Vec3::new(1.0, 0.0, 0.0))]);
+        let m = solid_model(&[(
+            Vec3::zero(),
+            Vec3::splat(0.3),
+            0.95,
+            Vec3::new(1.0, 0.0, 0.0),
+        )]);
         let out = Renderer::default().render(&m, &cam(64, 64));
         let c = out.image.pixel(32, 32);
         assert!(c.x > 0.7, "center should be strongly red, got {c}");
@@ -436,8 +417,18 @@ mod tests {
     #[test]
     fn nearer_splat_occludes() {
         let m = solid_model(&[
-            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.99, Vec3::new(1.0, 0.0, 0.0)),
-            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.99, Vec3::new(0.0, 1.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::splat(0.4),
+                0.99,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::splat(0.4),
+                0.99,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
         ]);
         let out = Renderer::default().render(&m, &cam(64, 64));
         let c = out.image.pixel(32, 32);
@@ -447,12 +438,32 @@ mod tests {
     #[test]
     fn model_order_does_not_matter() {
         let a = solid_model(&[
-            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
-            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.9, Vec3::new(0.0, 1.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::splat(0.4),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::splat(0.4),
+                0.9,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
         ]);
         let b = solid_model(&[
-            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.4), 0.9, Vec3::new(0.0, 1.0, 0.0)),
-            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::splat(0.4),
+                0.9,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
+            (
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::splat(0.4),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
         ]);
         let ra = Renderer::default().render(&a, &cam(64, 64));
         let rb = Renderer::default().render(&b, &cam(64, 64));
@@ -462,11 +473,23 @@ mod tests {
     #[test]
     fn per_pixel_sort_matches_per_tile_for_center_depth() {
         let m = solid_model(&[
-            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.4), 0.9, Vec3::new(1.0, 0.0, 0.0)),
-            (Vec3::new(0.3, 0.1, 1.0), Vec3::splat(0.4), 0.8, Vec3::new(0.0, 1.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::splat(0.4),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::new(0.3, 0.1, 1.0),
+                Vec3::splat(0.4),
+                0.8,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
         ]);
-        let mut opts = RenderOptions::default();
-        opts.sort_mode = SortMode::PerPixel;
+        let opts = RenderOptions {
+            sort_mode: SortMode::PerPixel,
+            ..RenderOptions::default()
+        };
         let pp = Renderer::new(opts).render(&m, &cam(64, 64));
         let pt = Renderer::default().render(&m, &cam(64, 64));
         assert!(pp.image.mse(&pt.image) < 1e-10);
@@ -475,19 +498,45 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let m = solid_model(&[
-            (Vec3::new(-0.5, 0.0, 0.0), Vec3::splat(0.3), 0.9, Vec3::new(1.0, 0.0, 0.0)),
-            (Vec3::new(0.5, 0.2, 0.5), Vec3::splat(0.25), 0.7, Vec3::new(0.0, 1.0, 0.0)),
-            (Vec3::new(0.0, -0.4, -0.5), Vec3::splat(0.35), 0.8, Vec3::new(0.0, 0.0, 1.0)),
+            (
+                Vec3::new(-0.5, 0.0, 0.0),
+                Vec3::splat(0.3),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::new(0.5, 0.2, 0.5),
+                Vec3::splat(0.25),
+                0.7,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
+            (
+                Vec3::new(0.0, -0.4, -0.5),
+                Vec3::splat(0.35),
+                0.8,
+                Vec3::new(0.0, 0.0, 1.0),
+            ),
         ]);
-        let mut opts = RenderOptions::default();
-        opts.parallel = true;
-        opts.track_point_stats = true;
+        let mut opts = RenderOptions {
+            threads: 4,
+            track_point_stats: true,
+            ..RenderOptions::default()
+        };
         let par = Renderer::new(opts.clone()).render(&m, &cam(96, 80));
-        opts.parallel = false;
+        opts.threads = 1;
         let ser = Renderer::new(opts).render(&m, &cam(96, 80));
         assert!(par.image.mse(&ser.image) < 1e-12);
-        assert_eq!(par.stats.point_pixels_dominated, ser.stats.point_pixels_dominated);
+        assert_eq!(
+            par.image, ser.image,
+            "parallel must be bit-exact, not just close"
+        );
+        assert_eq!(par.winners, ser.winners);
+        assert_eq!(
+            par.stats.point_pixels_dominated,
+            ser.stats.point_pixels_dominated
+        );
         assert_eq!(par.stats.blend_steps, ser.stats.blend_steps);
+        assert_eq!(par.stats, ser.stats, "profile equality ignores wall time");
     }
 
     #[test]
@@ -502,9 +551,19 @@ mod tests {
     #[test]
     fn occluded_point_dominates_nothing() {
         let m = solid_model(&[
-            (Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.6), 0.99, Vec3::new(0.0, 1.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::splat(0.6),
+                0.99,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
             // Same center but farther and smaller: fully hidden.
-            (Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.1), 0.9, Vec3::new(1.0, 0.0, 0.0)),
+            (
+                Vec3::new(0.0, 0.0, -1.0),
+                Vec3::splat(0.1),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
         ]);
         let out = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
         let dom = &out.stats.point_pixels_dominated;
@@ -517,7 +576,14 @@ mod tests {
         // A stack of opaque splats: early-stop should keep blend steps far
         // below (pixels × splats).
         let pts: Vec<(Vec3, Vec3, f32, Vec3)> = (0..20)
-            .map(|i| (Vec3::new(0.0, 0.0, i as f32 * 0.01), Vec3::splat(0.4), 0.99, Vec3::one()))
+            .map(|i| {
+                (
+                    Vec3::new(0.0, 0.0, i as f32 * 0.01),
+                    Vec3::splat(0.4),
+                    0.99,
+                    Vec3::one(),
+                )
+            })
             .collect();
         let m = solid_model(&pts);
         let out = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
@@ -528,8 +594,18 @@ mod tests {
     #[test]
     fn render_filtered_excludes_points() {
         let m = solid_model(&[
-            (Vec3::zero(), Vec3::splat(0.4), 0.95, Vec3::new(1.0, 0.0, 0.0)),
-            (Vec3::zero(), Vec3::splat(0.4), 0.95, Vec3::new(0.0, 1.0, 0.0)),
+            (
+                Vec3::zero(),
+                Vec3::splat(0.4),
+                0.95,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::zero(),
+                Vec3::splat(0.4),
+                0.95,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
         ]);
         let r = Renderer::default();
         let only_red = r.render_filtered(&m, &cam(64, 64), |i| i == 0);
@@ -545,6 +621,7 @@ mod tests {
         assert_eq!(out.stats.grid.tiles_x, 7); // ceil(100/16)
         assert_eq!(out.stats.grid.tiles_y, 5); // ceil(70/16)
         assert_eq!(out.stats.tile_intersections.len(), 35);
+        assert_eq!(out.stats.grid.pixel_count(), 100 * 70);
     }
 
     #[test]
@@ -554,5 +631,46 @@ mod tests {
         let c = out.image.pixel(32, 32);
         // alpha capped at 0.99 → some background leaks through.
         assert!(c.x <= 0.9901);
+    }
+
+    #[test]
+    fn profile_records_all_four_stages() {
+        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.4), 0.9, Vec3::one())]);
+        let out = Renderer::default().render(&m, &cam(64, 64));
+        let kinds: Vec<StageKind> = out.stats.profile.samples.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::Project,
+                StageKind::Bin,
+                StageKind::Raster,
+                StageKind::Composite
+            ]
+        );
+        // Counters mirror the headline stats.
+        let p = &out.stats.profile;
+        assert_eq!(
+            p.items(StageKind::Project),
+            out.stats.points_projected as u64
+        );
+        assert_eq!(p.items(StageKind::Bin), out.stats.total_intersections);
+        assert_eq!(p.items(StageKind::Raster), out.stats.blend_steps);
+        assert_eq!(p.items(StageKind::Composite), 64 * 64);
+    }
+
+    #[test]
+    fn pre_projected_renders_skip_the_project_stage() {
+        let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.4), 0.9, Vec3::one())]);
+        let camera = cam(64, 64);
+        let opts = RenderOptions::default();
+        let splats = crate::projection::project_model(&m, &camera, &opts);
+        let out = Renderer::new(opts).render_splats(m.len(), &splats, &camera);
+        assert!(out
+            .stats
+            .profile
+            .samples
+            .iter()
+            .all(|s| s.kind != StageKind::Project));
+        assert_eq!(out.stats.profile.samples.len(), 3);
     }
 }

@@ -1,9 +1,16 @@
 //! Render statistics: the measurement instrument behind the paper's
 //! workload analysis.
 
+use crate::pipeline::FrameProfile;
 use serde::{Deserialize, Serialize};
 
-/// Tile-grid dimensions of a render pass.
+/// Tile-grid dimensions of a render pass, including the exact image extent
+/// the grid covers.
+///
+/// Carrying `width`/`height` lets every per-tile consumer — the composite
+/// stage, the GPU cost model, the accelerator simulator — use the *clipped*
+/// pixel count of edge tiles instead of padding to `tile_size²`, so the
+/// renderer and the models agree on pixel work by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TileGridDims {
     /// Tiles per row.
@@ -12,12 +19,52 @@ pub struct TileGridDims {
     pub tiles_y: u32,
     /// Tile size in pixels.
     pub tile_size: u32,
+    /// Image width in pixels (`<= tiles_x * tile_size`).
+    pub width: u32,
+    /// Image height in pixels (`<= tiles_y * tile_size`).
+    pub height: u32,
 }
 
 impl TileGridDims {
+    /// The grid covering a `width × height` image with square tiles.
+    pub fn for_image(width: u32, height: u32, tile_size: u32) -> Self {
+        assert!(tile_size > 0, "tile_size must be positive");
+        Self {
+            tiles_x: width.div_ceil(tile_size),
+            tiles_y: height.div_ceil(tile_size),
+            tile_size,
+            width,
+            height,
+        }
+    }
+
     /// Total tile count.
     pub fn tile_count(&self) -> usize {
         (self.tiles_x * self.tiles_y) as usize
+    }
+
+    /// Total image pixels (exact, not padded to the tile grid).
+    pub fn pixel_count(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Pixels actually covered by tile `(tx, ty)` — edge tiles are clipped
+    /// to the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tile coordinate is out of the grid.
+    pub fn tile_pixel_count(&self, tx: u32, ty: u32) -> u32 {
+        assert!(tx < self.tiles_x && ty < self.tiles_y, "tile out of grid");
+        let w = ((tx + 1) * self.tile_size).min(self.width) - tx * self.tile_size;
+        let h = ((ty + 1) * self.tile_size).min(self.height) - ty * self.tile_size;
+        w * h
+    }
+
+    /// Tile coordinate of row-major tile index `i`.
+    pub fn tile_coords(&self, i: usize) -> (u32, u32) {
+        debug_assert!(i < self.tile_count());
+        (i as u32 % self.tiles_x, i as u32 / self.tiles_x)
     }
 }
 
@@ -28,6 +75,9 @@ impl TileGridDims {
 /// * `point_tiles_used` is `Compᵢ`/`Uᵢ` of Eqns. 3 and 5.
 /// * `point_pixels_dominated` is `Valᵢ` of Eqn. 3 ("number of pixels
 ///   dominated by that point", dominance = largest `Tᵢαᵢ`).
+/// * `profile` records wall time and work per pipeline stage (see
+///   [`crate::pipeline`]); its equality ignores wall times, so comparing
+///   two `RenderStats` compares workloads, not timings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RenderStats {
     /// Tile-grid geometry.
@@ -49,6 +99,8 @@ pub struct RenderStats {
     /// Per-point count of pixels dominated this frame (`Val`); empty unless
     /// `track_point_stats` was set.
     pub point_pixels_dominated: Vec<u32>,
+    /// Per-stage wall time and work counters for this frame.
+    pub profile: FrameProfile,
 }
 
 impl RenderStats {
@@ -88,7 +140,7 @@ mod tests {
     fn stats(tiles: Vec<u32>) -> RenderStats {
         let total = tiles.iter().map(|&t| t as u64).sum();
         RenderStats {
-            grid: TileGridDims { tiles_x: tiles.len() as u32, tiles_y: 1, tile_size: 16 },
+            grid: TileGridDims::for_image(tiles.len() as u32 * 16, 16, 16),
             total_intersections: total,
             tile_intersections: tiles,
             points_projected: 0,
@@ -96,6 +148,7 @@ mod tests {
             blend_steps: 0,
             point_tiles_used: Vec::new(),
             point_pixels_dominated: Vec::new(),
+            profile: FrameProfile::default(),
         }
     }
 
@@ -117,7 +170,38 @@ mod tests {
 
     #[test]
     fn grid_tile_count() {
-        let g = TileGridDims { tiles_x: 4, tiles_y: 3, tile_size: 16 };
+        let g = TileGridDims::for_image(64, 48, 16);
+        assert_eq!((g.tiles_x, g.tiles_y), (4, 3));
         assert_eq!(g.tile_count(), 12);
+        assert_eq!(g.pixel_count(), 64 * 48);
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped() {
+        // 100×70 with 16-px tiles: last column is 4 px wide, last row 6 px
+        // tall.
+        let g = TileGridDims::for_image(100, 70, 16);
+        assert_eq!((g.tiles_x, g.tiles_y), (7, 5));
+        assert_eq!(g.tile_pixel_count(0, 0), 256);
+        assert_eq!(g.tile_pixel_count(6, 0), 4 * 16);
+        assert_eq!(g.tile_pixel_count(0, 4), 16 * 6);
+        assert_eq!(g.tile_pixel_count(6, 4), 4 * 6);
+        // Clipped tile pixels sum to the exact image area.
+        let sum: u64 = (0..g.tile_count())
+            .map(|i| {
+                let (tx, ty) = g.tile_coords(i);
+                g.tile_pixel_count(tx, ty) as u64
+            })
+            .sum();
+        assert_eq!(sum, g.pixel_count());
+    }
+
+    #[test]
+    fn tile_coords_roundtrip() {
+        let g = TileGridDims::for_image(100, 70, 16);
+        for i in 0..g.tile_count() {
+            let (tx, ty) = g.tile_coords(i);
+            assert_eq!((ty * g.tiles_x + tx) as usize, i);
+        }
     }
 }

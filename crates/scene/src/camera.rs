@@ -207,7 +207,11 @@ mod tests {
         let g = c.center_gaze();
         let corner = c.pixel_eccentricity(Vec2::new(0.0, 240.0), g);
         // Horizontal half-FOV for 4:3 at fovy=60° is atan(tan(30°)*4/3) ≈ 37.6°.
-        assert!((rad_to_deg(corner) - 37.59).abs() < 0.5, "got {}", rad_to_deg(corner));
+        assert!(
+            (rad_to_deg(corner) - 37.59).abs() < 0.5,
+            "got {}",
+            rad_to_deg(corner)
+        );
     }
 
     #[test]

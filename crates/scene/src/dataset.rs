@@ -81,7 +81,12 @@ impl TraceId {
     pub fn all() -> Vec<TraceId> {
         Dataset::ALL
             .iter()
-            .flat_map(|&d| d.trace_names().iter().map(move |&n| TraceId { dataset: d, name: n }))
+            .flat_map(|&d| {
+                d.trace_names().iter().map(move |&n| TraceId {
+                    dataset: d,
+                    name: n,
+                })
+            })
             .collect()
     }
 
@@ -131,7 +136,8 @@ impl TraceId {
     /// Deterministic seed for this trace.
     pub fn seed(self) -> u64 {
         // FNV-1a over the name, namespaced by dataset.
-        let mut h: u64 = 0xcbf29ce484222325 ^ (self.dataset as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut h: u64 =
+            0xcbf29ce484222325 ^ (self.dataset as u64).wrapping_mul(0x9E3779B97F4A7C15);
         for b in self.name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
@@ -144,7 +150,11 @@ impl TraceId {
     /// to exhibit the paper's distributions while tractable on CPU).
     pub fn spec_with_scale(self, scale: f32) -> SceneSpec {
         let base_points = 400_000.0;
-        let (floater, log_sigma) = if self.outdoor() { (0.10, 0.85) } else { (0.05, 0.6) };
+        let (floater, log_sigma) = if self.outdoor() {
+            (0.10, 0.85)
+        } else {
+            (0.05, 0.6)
+        };
         SceneSpec {
             seed: self.seed(),
             total_points: ((base_points * self.complexity() * scale) as usize).max(200),
@@ -196,7 +206,8 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> = TraceId::all().iter().map(|t| t.seed()).collect();
+        let seeds: std::collections::HashSet<u64> =
+            TraceId::all().iter().map(|t| t.seed()).collect();
         assert_eq!(seeds.len(), 13);
     }
 

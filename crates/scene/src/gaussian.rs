@@ -100,7 +100,14 @@ impl GaussianModel {
 
     /// Convenience: append a view-independent point with base color `rgb`
     /// (higher-order SH zeroed).
-    pub fn push_solid(&mut self, position: Vec3, scale: Vec3, rotation: Quat, opacity: f32, rgb: Vec3) {
+    pub fn push_solid(
+        &mut self,
+        position: Vec3,
+        scale: Vec3,
+        rotation: Quat,
+        opacity: f32,
+        rgb: Vec3,
+    ) {
         let mut coeffs = vec![0.0f32; self.sh_stride()];
         let dc = sh::rgb_to_dc(rgb);
         coeffs[..3].copy_from_slice(&dc);
@@ -223,7 +230,7 @@ impl GaussianModel {
             }
         }
         for (i, s) in self.scales.iter().enumerate() {
-            if !(s.x > 0.0 && s.y > 0.0 && s.z > 0.0) || !s.is_finite() {
+            if !(s.x > 0.0 && s.y > 0.0 && s.z > 0.0 && s.is_finite()) {
                 return Err(format!("non-positive scale {s} at point {i}"));
             }
         }
@@ -301,7 +308,13 @@ mod tests {
     #[test]
     fn storage_bytes_full_degree() {
         let mut m = GaussianModel::new(3);
-        m.push_solid(Vec3::zero(), Vec3::splat(0.1), Quat::identity(), 1.0, Vec3::one());
+        m.push_solid(
+            Vec3::zero(),
+            Vec3::splat(0.1),
+            Quat::identity(),
+            1.0,
+            Vec3::one(),
+        );
         assert_eq!(m.storage_bytes(), BYTES_PER_POINT_FULL);
     }
 

@@ -143,9 +143,12 @@ mod tests {
     use crate::synth::{generate, SceneSpec};
 
     fn sample() -> GaussianModel {
-        generate(&SceneSpec { total_points: 300, ..SceneSpec::default() })
-            .unwrap()
-            .model
+        generate(&SceneSpec {
+            total_points: 300,
+            ..SceneSpec::default()
+        })
+        .unwrap()
+        .model
     }
 
     #[test]
@@ -174,7 +177,10 @@ mod tests {
     fn truncation_rejected() {
         let m = sample();
         let bytes = encode_model(&m);
-        assert_eq!(decode_model(&bytes[..bytes.len() - 8]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_model(&bytes[..bytes.len() - 8]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(decode_model(&bytes[..4]), Err(DecodeError::Truncated));
     }
 
@@ -183,7 +189,10 @@ mod tests {
         let m = sample();
         let mut bytes = encode_model(&m).to_vec();
         bytes[4] = 0x7F;
-        assert!(matches!(decode_model(&bytes), Err(DecodeError::BadVersion(_))));
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(DecodeError::BadVersion(_))
+        ));
     }
 
     #[test]

@@ -137,7 +137,10 @@ fn sample_unit_vector(rng: &mut StdRng) -> Vec3 {
 }
 
 fn random_rotation(rng: &mut StdRng) -> Quat {
-    Quat::from_axis_angle(sample_unit_vector(rng), rng.gen_range(0.0..std::f32::consts::TAU))
+    Quat::from_axis_angle(
+        sample_unit_vector(rng),
+        rng.gen_range(0.0..std::f32::consts::TAU),
+    )
 }
 
 fn log_normal_scale(rng: &mut StdRng, mu: f32, sigma: f32) -> f32 {
@@ -149,9 +152,9 @@ fn log_normal_scale(rng: &mut StdRng, mu: f32, sigma: f32) -> f32 {
 fn surface_scale(rng: &mut StdRng, base: f32) -> Vec3 {
     let flat = rng.gen_range(0.15..0.5f32);
     Vec3::new(
-        base * rng.gen_range(0.7..1.4),
+        base * rng.gen_range(0.7..1.4f32),
         base * flat,
-        base * rng.gen_range(0.7..1.4),
+        base * rng.gen_range(0.7..1.4f32),
     )
 }
 
@@ -217,10 +220,10 @@ pub fn generate(spec: &SceneSpec) -> Result<Scene, String> {
         let k = i % cluster_centers.len();
         let center = cluster_centers[k];
         let cluster_r = r * rng.gen_range(0.04..0.12f32);
-        let offset = sample_unit_vector(&mut rng) * (cluster_r * rng.gen_range(0.0..1.0f32).powf(0.33));
+        let offset =
+            sample_unit_vector(&mut rng) * (cluster_r * rng.gen_range(0.0..1.0f32).powf(0.33));
         let base = scale_of(&mut rng, 0.6);
-        let color = cluster_palettes[k]
-            + Vec3::splat(sample_normal(&mut rng) * 0.08);
+        let color = cluster_palettes[k] + Vec3::splat(sample_normal(&mut rng) * 0.08);
         let scale = surface_scale(&mut rng, base);
         let opacity = rng.gen_range(0.6..0.99f32);
         push_sh_point(
@@ -238,7 +241,11 @@ pub fn generate(spec: &SceneSpec) -> Result<Scene, String> {
     for _ in 0..n_ground {
         let rad = r * rng.gen_range(0.0f32..1.0).sqrt();
         let theta = rng.gen_range(0.0..std::f32::consts::TAU);
-        let pos = Vec3::new(rad * theta.cos(), sample_normal(&mut rng) * 0.01 * r, rad * theta.sin());
+        let pos = Vec3::new(
+            rad * theta.cos(),
+            sample_normal(&mut rng) * 0.01 * r,
+            rad * theta.sin(),
+        );
         let base = scale_of(&mut rng, 1.0);
         let shade = rng.gen_range(0.25..0.55f32);
         let opacity = rng.gen_range(0.5..0.95f32);
@@ -373,7 +380,7 @@ mod tests {
     fn point_budget_respected() {
         let s = generate(&small_spec()).unwrap();
         let n = s.model.len();
-        assert!(n >= 1_990 && n <= 2_000, "n = {n}");
+        assert!((1_990..=2_000).contains(&n), "n = {n}");
     }
 
     #[test]
@@ -385,7 +392,9 @@ mod tests {
     #[test]
     fn scale_distribution_is_heavy_tailed() {
         let s = generate(&small_spec()).unwrap();
-        let extents: Vec<f32> = (0..s.model.len()).map(|i| s.model.point_extent(i)).collect();
+        let extents: Vec<f32> = (0..s.model.len())
+            .map(|i| s.model.point_extent(i))
+            .collect();
         let p50 = stats::percentile(&extents, 50.0);
         let p99 = stats::percentile(&extents, 99.0);
         // Floaters/background make the tail much fatter than the median.

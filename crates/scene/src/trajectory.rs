@@ -176,14 +176,24 @@ mod tests {
             let t = i as f32 / 12.0;
             let pose = traj.sample(t);
             let planar = Vec3::new(pose.eye.x - 1.0, 0.0, pose.eye.z);
-            assert!((planar.length() - 4.0).abs() < 0.3, "t={t}: {}", planar.length());
+            assert!(
+                (planar.length() - 4.0).abs() < 0.3,
+                "t={t}: {}",
+                planar.length()
+            );
         }
     }
 
     #[test]
     #[should_panic]
     fn trajectory_requires_two_keys() {
-        let _ = Trajectory::new(vec![PoseKey { eye: Vec3::zero(), target: Vec3::one() }], false);
+        let _ = Trajectory::new(
+            vec![PoseKey {
+                eye: Vec3::zero(),
+                target: Vec3::one(),
+            }],
+            false,
+        );
     }
 
     proptest! {

@@ -127,9 +127,27 @@ mod tests {
     /// pixels while intersecting many tiles — the low-CE case.
     fn floater_scene() -> GaussianModel {
         let mut m = GaussianModel::new(0);
-        m.push_solid(Vec3::zero(), Vec3::splat(0.15), Quat::identity(), 0.95, Vec3::new(1.0, 0.2, 0.2));
-        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(1.2), Quat::identity(), 0.05, Vec3::splat(0.5));
-        m.push_solid(Vec3::new(0.0, 0.0, -2.0), Vec3::splat(3.0), Quat::identity(), 0.97, Vec3::new(0.3, 0.5, 0.3));
+        m.push_solid(
+            Vec3::zero(),
+            Vec3::splat(0.15),
+            Quat::identity(),
+            0.95,
+            Vec3::new(1.0, 0.2, 0.2),
+        );
+        m.push_solid(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::splat(1.2),
+            Quat::identity(),
+            0.05,
+            Vec3::splat(0.5),
+        );
+        m.push_solid(
+            Vec3::new(0.0, 0.0, -2.0),
+            Vec3::splat(3.0),
+            Quat::identity(),
+            0.97,
+            Vec3::new(0.3, 0.5, 0.3),
+        );
         m
     }
 
@@ -148,7 +166,13 @@ mod tests {
     #[test]
     fn invisible_point_has_zero_ce() {
         let mut m = floater_scene();
-        m.push_solid(Vec3::new(0.0, 0.0, 100.0), Vec3::splat(0.2), Quat::identity(), 0.9, Vec3::one());
+        m.push_solid(
+            Vec3::new(0.0, 0.0, 100.0),
+            Vec3::splat(0.2),
+            Quat::identity(),
+            0.9,
+            Vec3::one(),
+        );
         let ce = compute_ce(&m, &[cam()], &CeOptions::default());
         assert_eq!(ce[3], 0.0);
     }
@@ -161,19 +185,50 @@ mod tests {
             cam(),
             Camera::look_at(96, 96, 60.0, Vec3::new(4.0, 0.0, 0.0), Vec3::zero()),
         ];
-        let max_ce = compute_ce(&m, &cams, &CeOptions { aggregation: CeAggregation::Max, ..CeOptions::default() });
-        let mean_ce = compute_ce(&m, &cams, &CeOptions { aggregation: CeAggregation::Mean, ..CeOptions::default() });
+        let max_ce = compute_ce(
+            &m,
+            &cams,
+            &CeOptions {
+                aggregation: CeAggregation::Max,
+                ..CeOptions::default()
+            },
+        );
+        let mean_ce = compute_ce(
+            &m,
+            &cams,
+            &CeOptions {
+                aggregation: CeAggregation::Mean,
+                ..CeOptions::default()
+            },
+        );
         for i in 0..m.len() {
-            assert!(max_ce[i] >= mean_ce[i] - 1e-5, "point {i}: max {} < mean {}", max_ce[i], mean_ce[i]);
+            assert!(
+                max_ce[i] >= mean_ce[i] - 1e-5,
+                "point {i}: max {} < mean {}",
+                max_ce[i],
+                mean_ce[i]
+            );
         }
     }
 
     #[test]
     fn occluded_point_has_zero_val_but_positive_comp() {
         let mut m = GaussianModel::new(0);
-        m.push_solid(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(0.5), Quat::identity(), 0.99, Vec3::one());
+        m.push_solid(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::splat(0.5),
+            Quat::identity(),
+            0.99,
+            Vec3::one(),
+        );
         // Hidden behind the first.
-        m.push_solid(Vec3::new(0.0, 0.0, -1.0), Vec3::splat(0.1), Quat::identity(), 0.9, Vec3::one());
+        m.push_solid(
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::splat(0.1),
+            Quat::identity(),
+            0.9,
+            Vec3::one(),
+        );
         let ce = compute_ce(&m, &[cam()], &CeOptions::default());
         assert!(ce[0] > 0.0);
         assert_eq!(ce[1], 0.0, "occluded point dominates nothing → CE 0");

@@ -70,7 +70,11 @@ struct AdamState {
 
 impl AdamState {
     fn new(n: usize) -> Self {
-        Self { m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// One Adam step over `params` given `grads`; standard β₁/β₂/ε.
@@ -131,9 +135,17 @@ impl FineTuner {
     ) -> FineTuneReport {
         assert_eq!(cameras.len(), references.len(), "camera/reference mismatch");
         assert!(!cameras.is_empty(), "need at least one training view");
-        assert_eq!(self.opacity_adam.m.len(), model.len(), "tuner sized for different model");
+        assert_eq!(
+            self.opacity_adam.m.len(),
+            model.len(),
+            "tuner sized for different model"
+        );
 
-        let mut logits: Vec<f32> = model.opacities.iter().map(|&o| inverse_sigmoid(o)).collect();
+        let mut logits: Vec<f32> = model
+            .opacities
+            .iter()
+            .map(|&o| inverse_sigmoid(o))
+            .collect();
         let mut mse_history = Vec::with_capacity(self.config.iterations);
         let mut ws_history = Vec::new();
         let mut usage: Option<Vec<f32>> = None;
@@ -151,8 +163,12 @@ impl FineTuner {
             }
 
             let cam_idx = it % cameras.len();
-            let (_, mse, grads) =
-                backward_mse(model, &cameras[cam_idx], &references[cam_idx], &self.config.render);
+            let (_, mse, grads) = backward_mse(
+                model,
+                &cameras[cam_idx],
+                &references[cam_idx],
+                &self.config.render,
+            );
             mse_history.push(mse);
 
             // Opacity step in logit space: ∂L/∂logit = ∂L/∂p · p(1−p).
@@ -162,7 +178,8 @@ impl FineTuner {
                 .zip(&model.opacities)
                 .map(|(&g, &p)| g * p * (1.0 - p))
                 .collect();
-            self.opacity_adam.step(&mut logits, &logit_grads, self.config.lr_opacity);
+            self.opacity_adam
+                .step(&mut logits, &logit_grads, self.config.lr_opacity);
             for (o, &l) in model.opacities.iter_mut().zip(&logits) {
                 *o = sigmoid(l);
             }
@@ -175,7 +192,8 @@ impl FineTuner {
                     .copy_from_slice(&model.sh_coeffs[i * stride..i * stride + 3]);
             }
             let dc_grads: Vec<f32> = grads.d_dc.iter().flat_map(|g| g.iter().copied()).collect();
-            self.dc_adam.step(&mut dc_params, &dc_grads, self.config.lr_dc);
+            self.dc_adam
+                .step(&mut dc_params, &dc_grads, self.config.lr_dc);
             for i in 0..model.len() {
                 model.sh_coeffs[i * stride..i * stride + 3]
                     .copy_from_slice(&dc_params[i * 3..i * 3 + 3]);
@@ -194,7 +212,8 @@ impl FineTuner {
                     // d/d(log s) = g · s.
                     grads_flat[i * 3 + axis] = g * model.scales[i][axis];
                 }
-                self.scale_adam.step(&mut log_scales, &grads_flat, self.config.lr_scale);
+                self.scale_adam
+                    .step(&mut log_scales, &grads_flat, self.config.lr_scale);
                 for i in 0..model.len() {
                     for a in 0..3 {
                         model.scales[i][a] = log_scales[i * 3 + a].exp().clamp(1e-6, 1e4);
@@ -233,9 +252,27 @@ mod tests {
 
     fn scene_model() -> GaussianModel {
         let mut m = GaussianModel::new(0);
-        m.push_solid(Vec3::new(-0.3, 0.0, 0.0), Vec3::splat(0.3), Quat::identity(), 0.6, Vec3::new(0.9, 0.2, 0.2));
-        m.push_solid(Vec3::new(0.4, 0.1, 0.2), Vec3::splat(0.35), Quat::identity(), 0.5, Vec3::new(0.2, 0.9, 0.3));
-        m.push_solid(Vec3::new(0.0, -0.3, -0.3), Vec3::splat(0.25), Quat::identity(), 0.7, Vec3::new(0.3, 0.3, 0.9));
+        m.push_solid(
+            Vec3::new(-0.3, 0.0, 0.0),
+            Vec3::splat(0.3),
+            Quat::identity(),
+            0.6,
+            Vec3::new(0.9, 0.2, 0.2),
+        );
+        m.push_solid(
+            Vec3::new(0.4, 0.1, 0.2),
+            Vec3::splat(0.35),
+            Quat::identity(),
+            0.5,
+            Vec3::new(0.2, 0.9, 0.3),
+        );
+        m.push_solid(
+            Vec3::new(0.0, -0.3, -0.3),
+            Vec3::splat(0.25),
+            Quat::identity(),
+            0.7,
+            Vec3::new(0.3, 0.3, 0.9),
+        );
         m
     }
 
@@ -247,15 +284,26 @@ mod tests {
 
         let mut perturbed = target.clone();
         perturbed.opacities = vec![0.3, 0.9, 0.4];
-        let mse_before = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        let mse_before = Renderer::default()
+            .render(&perturbed, &camera)
+            .image
+            .mse(&reference);
 
         let config = FineTuneConfig {
             iterations: 60,
             scale_decay: None,
             ..FineTuneConfig::default()
         };
-        let report = fine_tune(&mut perturbed, &[camera], &[reference.clone()], config);
-        let mse_after = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        let report = fine_tune(
+            &mut perturbed,
+            &[camera],
+            std::slice::from_ref(&reference),
+            config,
+        );
+        let mse_after = Renderer::default()
+            .render(&perturbed, &camera)
+            .image
+            .mse(&reference);
         assert!(
             mse_after < mse_before * 0.3,
             "fine-tuning should recover quality: {mse_before} → {mse_after}"
@@ -273,10 +321,26 @@ mod tests {
         for i in 0..perturbed.len() {
             perturbed.sh_mut(i)[0] += 0.5; // red shift
         }
-        let mse_before = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
-        let config = FineTuneConfig { iterations: 80, scale_decay: None, lr_dc: 0.05, ..FineTuneConfig::default() };
-        fine_tune(&mut perturbed, &[camera], &[reference.clone()], config);
-        let mse_after = Renderer::default().render(&perturbed, &camera).image.mse(&reference);
+        let mse_before = Renderer::default()
+            .render(&perturbed, &camera)
+            .image
+            .mse(&reference);
+        let config = FineTuneConfig {
+            iterations: 80,
+            scale_decay: None,
+            lr_dc: 0.05,
+            ..FineTuneConfig::default()
+        };
+        fine_tune(
+            &mut perturbed,
+            &[camera],
+            std::slice::from_ref(&reference),
+            config,
+        );
+        let mse_after = Renderer::default()
+            .render(&perturbed, &camera)
+            .image
+            .mse(&reference);
         assert!(mse_after < mse_before * 0.3, "{mse_before} → {mse_after}");
     }
 
@@ -290,7 +354,10 @@ mod tests {
         let extent_before = m.point_extent(0);
         let config = FineTuneConfig {
             iterations: 30,
-            scale_decay: Some(ScaleDecayOptions { usage_threshold: 2.0, gamma: 0.5 }),
+            scale_decay: Some(ScaleDecayOptions {
+                usage_threshold: 2.0,
+                gamma: 0.5,
+            }),
             lr_scale: 0.05,
             ..FineTuneConfig::default()
         };
@@ -307,7 +374,12 @@ mod tests {
         let mut m = scene_model();
         let camera = cam();
         let reference = Image::filled(48, 48, Vec3::one()); // force big gradients
-        let config = FineTuneConfig { iterations: 40, lr_opacity: 0.5, scale_decay: None, ..FineTuneConfig::default() };
+        let config = FineTuneConfig {
+            iterations: 40,
+            lr_opacity: 0.5,
+            scale_decay: None,
+            ..FineTuneConfig::default()
+        };
         fine_tune(&mut m, &[camera], &[reference], config);
         for &o in &m.opacities {
             assert!((0.0..=1.0).contains(&o), "opacity {o} escaped (0,1)");

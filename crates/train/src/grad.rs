@@ -54,11 +54,7 @@ pub fn backward_mse(
         "reference dimensions must match the camera"
     );
     let splats = project_model(model, camera, options);
-    let grid = TileGridDims {
-        tiles_x: camera.width.div_ceil(options.tile_size),
-        tiles_y: camera.height.div_ceil(options.tile_size),
-        tile_size: options.tile_size,
-    };
+    let grid = TileGridDims::for_image(camera.width, camera.height, options.tile_size);
     let bins = TileBins::build(&splats, grid);
 
     let mut image = Image::filled(camera.width, camera.height, options.background);
@@ -146,14 +142,20 @@ pub fn backward_mse(
 /// Forward-only render used for gradient checking (same code path as
 /// [`backward_mse`] without the backward bookkeeping).
 pub fn forward_image(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> Image {
-    ms_render::Renderer::new(options.clone()).render(model, camera).image
+    ms_render::Renderer::new(options.clone())
+        .render(model, camera)
+        .image
 }
 
 #[allow(unused_imports)]
 use ms_render::Renderer;
 
 /// Helper shared by tests and the fine-tuner: splat count after projection.
-pub fn visible_splats(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> Vec<ProjectedSplat> {
+pub fn visible_splats(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+) -> Vec<ProjectedSplat> {
     project_model(model, camera, options)
 }
 
@@ -168,8 +170,20 @@ mod tests {
 
     fn two_splat_model() -> GaussianModel {
         let mut m = GaussianModel::new(0);
-        m.push_solid(Vec3::new(-0.2, 0.0, 0.5), Vec3::splat(0.3), Quat::identity(), 0.7, Vec3::new(0.9, 0.3, 0.2));
-        m.push_solid(Vec3::new(0.3, 0.1, -0.5), Vec3::splat(0.4), Quat::identity(), 0.5, Vec3::new(0.2, 0.8, 0.4));
+        m.push_solid(
+            Vec3::new(-0.2, 0.0, 0.5),
+            Vec3::splat(0.3),
+            Quat::identity(),
+            0.7,
+            Vec3::new(0.9, 0.3, 0.2),
+        );
+        m.push_solid(
+            Vec3::new(0.3, 0.1, -0.5),
+            Vec3::splat(0.4),
+            Quat::identity(),
+            0.5,
+            Vec3::new(0.2, 0.8, 0.4),
+        );
         m
     }
 
@@ -271,6 +285,9 @@ mod tests {
             m2.opacities[i] = (m2.opacities[i] - 50.0 * g.d_opacity[i]).clamp(0.01, 0.99);
         }
         let mse1 = forward_image(&m2, &camera, &opts()).mse(&reference);
-        assert!(mse1 < mse0, "descent step should reduce loss: {mse0} → {mse1}");
+        assert!(
+            mse1 < mse0,
+            "descent step should reduce loss: {mse0} → {mse1}"
+        );
     }
 }

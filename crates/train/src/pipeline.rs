@@ -58,7 +58,11 @@ impl QualityMetric {
                     // Drop relative to an ideal render of the reference by
                     // itself (infinite PSNR): use the absolute PSNR deficit
                     // from a high-quality anchor of 50 dB.
-                    let psnr = if mse <= 0.0 { 50.0 } else { (-10.0 * mse.log10()).min(50.0) };
+                    let psnr = if mse <= 0.0 {
+                        50.0
+                    } else {
+                        (-10.0 * mse.log10()).min(50.0)
+                    };
                     (50.0 - psnr).max(0.0)
                 }
                 QualityMetric::Hvsq { options, band } => {
@@ -67,10 +71,8 @@ impl QualityMetric {
                         cam.height,
                         ms_math::rad_to_deg(cam.fovx()),
                     );
-                    let hvsq = Hvsq::with_options(
-                        ms_hvs::EccentricityMap::centered(display),
-                        *options,
-                    );
+                    let hvsq =
+                        Hvsq::with_options(ms_hvs::EccentricityMap::centered(display), *options);
                     hvsq.evaluate(reference, &out.image, *band)
                 }
             };
@@ -164,14 +166,17 @@ pub fn prune_efficiently(
         model = pruned;
 
         // Check quality; retrain while the threshold is breached.
-        let mut quality =
-            config.metric.evaluate(&model, cameras, references, &config.ce.render);
+        let mut quality = config
+            .metric
+            .evaluate(&model, cameras, references, &config.ce.render);
         let mut retrained = false;
         let mut rounds = 0;
         while quality > config.quality_threshold && rounds < config.max_retrain_rounds {
             let mut tuner = FineTuner::new(config.retrain.clone(), model.len());
             tuner.run(&mut model, cameras, references);
-            quality = config.metric.evaluate(&model, cameras, references, &config.ce.render);
+            quality = config
+                .metric
+                .evaluate(&model, cameras, references, &config.ce.render);
             retrained = true;
             rounds += 1;
         }
@@ -182,9 +187,14 @@ pub fn prune_efficiently(
         });
     }
 
-    let final_quality_loss =
-        config.metric.evaluate(&model, cameras, references, &config.ce.render);
-    PruningOutcome { model, history, final_quality_loss }
+    let final_quality_loss = config
+        .metric
+        .evaluate(&model, cameras, references, &config.ce.render);
+    PruningOutcome {
+        model,
+        history,
+        final_quality_loss,
+    }
 }
 
 #[cfg(test)]
@@ -195,13 +205,19 @@ mod tests {
 
     /// Small scene + shrunken cameras so the loop runs quickly.
     fn setup() -> (GaussianModel, Vec<Camera>, Vec<Image>) {
-        let scene = TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.004);
+        let scene = TraceId::by_name("bonsai")
+            .unwrap()
+            .build_scene_with_scale(0.004);
         let cameras: Vec<Camera> = scene
             .train_cameras
             .iter()
             .step_by(8)
             .take(3)
-            .map(|c| Camera { width: 80, height: 60, ..*c })
+            .map(|c| Camera {
+                width: 80,
+                height: 60,
+                ..*c
+            })
             .collect();
         let renderer = Renderer::default();
         let references: Vec<Image> = cameras
@@ -223,8 +239,14 @@ mod tests {
         assert!(outcome.model.len() < dense.len());
         // Intersections should drop with the pruned points.
         let renderer = Renderer::default();
-        let before = renderer.render(&dense, &cameras[0]).stats.total_intersections;
-        let after = renderer.render(&outcome.model, &cameras[0]).stats.total_intersections;
+        let before = renderer
+            .render(&dense, &cameras[0])
+            .stats
+            .total_intersections;
+        let after = renderer
+            .render(&outcome.model, &cameras[0])
+            .stats
+            .total_intersections;
         assert!(after < before, "intersections {before} → {after}");
         assert_eq!(outcome.history.len(), 3);
     }
@@ -241,11 +263,18 @@ mod tests {
 
         // Random pruning to the same point count.
         let target = outcome.model.len();
-        let keep: Vec<usize> = (0..dense.len()).step_by(dense.len().div_ceil(target)).collect();
+        let keep: Vec<usize> = (0..dense.len())
+            .step_by(dense.len().div_ceil(target))
+            .collect();
         let random = dense.subset(&keep[..target.min(keep.len())]);
 
         let m = QualityMetric::Mse;
-        let q_ce = m.evaluate(&outcome.model, &cameras, &references, &RenderOptions::default());
+        let q_ce = m.evaluate(
+            &outcome.model,
+            &cameras,
+            &references,
+            &RenderOptions::default(),
+        );
         let q_rand = m.evaluate(&random, &cameras, &references, &RenderOptions::default());
         assert!(
             q_ce < q_rand,
@@ -260,7 +289,10 @@ mod tests {
             max_iterations: 2,
             quality_threshold: 1e-7, // impossible: always retrain
             max_retrain_rounds: 1,
-            retrain: FineTuneConfig { iterations: 3, ..FineTuneConfig::default() },
+            retrain: FineTuneConfig {
+                iterations: 3,
+                ..FineTuneConfig::default()
+            },
             ..EfficientPruningConfig::default()
         };
         let outcome = prune_efficiently(&dense, &cameras, &references, &config);
@@ -282,8 +314,17 @@ mod tests {
     #[test]
     fn hvsq_metric_evaluates() {
         let (dense, cameras, references) = setup();
-        let metric = QualityMetric::Hvsq { options: HvsqOptions { stride: 4, ..HvsqOptions::default() }, band: None };
+        let metric = QualityMetric::Hvsq {
+            options: HvsqOptions {
+                stride: 4,
+                ..HvsqOptions::default()
+            },
+            band: None,
+        };
         let q = metric.evaluate(&dense, &cameras, &references, &RenderOptions::default());
-        assert!(q.abs() < 1e-9, "dense model against its own renders ≈ 0, got {q}");
+        assert!(
+            q.abs() < 1e-9,
+            "dense model against its own renders ≈ 0, got {q}"
+        );
     }
 }

@@ -10,7 +10,11 @@ use ms_scene::GaussianModel;
 /// # Panics
 ///
 /// Panics when `scores.len() != model.len()`.
-pub fn prune_lowest(model: &GaussianModel, scores: &[f32], count: usize) -> (GaussianModel, Vec<usize>) {
+pub fn prune_lowest(
+    model: &GaussianModel,
+    scores: &[f32],
+    count: usize,
+) -> (GaussianModel, Vec<usize>) {
     assert_eq!(scores.len(), model.len(), "score length mismatch");
     let count = count.min(model.len());
     let mut order: Vec<usize> = (0..model.len()).collect();

@@ -21,7 +21,10 @@ pub struct ScaleDecayOptions {
 
 impl Default for ScaleDecayOptions {
     fn default() -> Self {
-        Self { usage_threshold: 4.0, gamma: 1e-3 }
+        Self {
+            usage_threshold: 4.0,
+            gamma: 1e-3,
+        }
     }
 }
 
@@ -47,8 +50,8 @@ pub fn weighted_scale(model: &GaussianModel, usage: &[f32], options: &ScaleDecay
         return 0.0;
     }
     let mut acc = 0.0f64;
-    for i in 0..model.len() {
-        acc += (model.point_extent(i) * gate(usage[i], options.usage_threshold)) as f64;
+    for (i, &u) in usage.iter().enumerate() {
+        acc += (model.point_extent(i) * gate(u, options.usage_threshold)) as f64;
     }
     (acc / model.len() as f64) as f32
 }
@@ -102,14 +105,20 @@ mod tests {
     #[test]
     fn ws_zero_when_usage_below_threshold() {
         let m = model_with_scales(&[Vec3::splat(1.0), Vec3::splat(2.0)]);
-        let opts = ScaleDecayOptions { usage_threshold: 10.0, gamma: 1.0 };
+        let opts = ScaleDecayOptions {
+            usage_threshold: 10.0,
+            gamma: 1.0,
+        };
         assert_eq!(weighted_scale(&m, &[5.0, 9.9], &opts), 0.0);
     }
 
     #[test]
     fn ws_weights_by_excess_usage() {
         let m = model_with_scales(&[Vec3::splat(1.0)]);
-        let opts = ScaleDecayOptions { usage_threshold: 4.0, gamma: 1.0 };
+        let opts = ScaleDecayOptions {
+            usage_threshold: 4.0,
+            gamma: 1.0,
+        };
         // S = 3.0 (3 × max axis), G = 10 − 4 = 6 → WS = 18.
         let ws = weighted_scale(&m, &[10.0], &opts);
         assert!((ws - 18.0).abs() < 1e-5);
@@ -119,7 +128,10 @@ mod tests {
     fn ws_is_mean_over_all_points() {
         // The unused point still divides the sum (1/N over all N).
         let m = model_with_scales(&[Vec3::splat(1.0), Vec3::splat(5.0)]);
-        let opts = ScaleDecayOptions { usage_threshold: 0.0, gamma: 1.0 };
+        let opts = ScaleDecayOptions {
+            usage_threshold: 0.0,
+            gamma: 1.0,
+        };
         let ws = weighted_scale(&m, &[2.0, 0.0], &opts);
         assert!((ws - 3.0).abs() < 1e-5); // (3·2 + 0)/2
     }
@@ -127,7 +139,10 @@ mod tests {
     #[test]
     fn grad_targets_dominant_axis() {
         let m = model_with_scales(&[Vec3::new(0.1, 0.5, 0.2)]);
-        let opts = ScaleDecayOptions { usage_threshold: 0.0, gamma: 1.0 };
+        let opts = ScaleDecayOptions {
+            usage_threshold: 0.0,
+            gamma: 1.0,
+        };
         let g = weighted_scale_grad(&m, &[8.0], &opts);
         assert_eq!(g[0].0, 1, "y is dominant");
         assert!((g[0].1 - 24.0).abs() < 1e-4); // 3·γ·8/1

@@ -38,7 +38,10 @@ fn main() {
         frame.stats.total_intersections,
         frame.stats.imbalance_ratio()
     );
-    println!("modeled mobile-GPU latency (full scale): {:.2} ms\n", gpu_latency * 1e3);
+    println!(
+        "modeled mobile-GPU latency (full scale): {:.2} ms\n",
+        gpu_latency * 1e3
+    );
 
     let workload = AccelWorkload::from_stats(
         &frame.stats,
@@ -75,8 +78,8 @@ fn main() {
 
     // Speedups relative to the modeled GPU (the Fig. 14 axis). The raw
     // (unscaled) workload runs on both sides for a like-for-like ratio.
-    let gpu_small = GpuCostModel::xavier()
-        .frame_latency(&foveated_workload(&frame, ScaleFactors::identity()));
+    let gpu_small =
+        GpuCostModel::xavier().frame_latency(&foveated_workload(&frame, ScaleFactors::identity()));
     println!("\nspeedup over mobile GPU (same reduced workload):");
     for config in &configs {
         let sim = simulate(&workload, config);

@@ -6,7 +6,7 @@
 //! Outputs land in `target/foveated_viewer/`.
 
 use metasapiens::fov::FoveatedRenderer;
-use metasapiens::hvs::{DisplayGeometry, Hvsq, HvsqOptions, EccentricityMap};
+use metasapiens::hvs::{DisplayGeometry, EccentricityMap, Hvsq, HvsqOptions};
 use metasapiens::math::Vec3;
 use metasapiens::pipeline::{build_system, BuildConfig, Variant};
 use metasapiens::render::{Image, RenderOptions, Renderer};
@@ -68,21 +68,37 @@ fn main() {
 
     for l in 0..system.fov.level_count() {
         let lvl = renderer.render(system.fov.level_model(l), &cam);
-        save_ppm(out_dir, &format!("level_{}.ppm", l + 1), &lvl.image.clamped());
+        save_ppm(
+            out_dir,
+            &format!("level_{}.ppm", l + 1),
+            &lvl.image.clamped(),
+        );
     }
 
     let g = fov.stats.grid;
     save_ppm(
         out_dir,
         "tile_heatmap.ppm",
-        &heatmap(&fov.stats.tile_intersections, g.tiles_x, g.tiles_y, g.tile_size),
+        &heatmap(
+            &fov.stats.tile_intersections,
+            g.tiles_x,
+            g.tiles_y,
+            g.tile_size,
+        ),
     );
 
     // Per-region HVSQ of the foveated render against the dense reference.
-    let display = DisplayGeometry::new(cam.width, cam.height, metasapiens::math::rad_to_deg(cam.fovx()));
+    let display = DisplayGeometry::new(
+        cam.width,
+        cam.height,
+        metasapiens::math::rad_to_deg(cam.fovx()),
+    );
     let hvsq = Hvsq::with_options(
         EccentricityMap::centered(display),
-        HvsqOptions { stride: 2, ..HvsqOptions::default() },
+        HvsqOptions {
+            stride: 2,
+            ..HvsqOptions::default()
+        },
     );
     let boundaries = system.fov.regions().boundaries_deg().to_vec();
     let per_region = hvsq.evaluate_regions(&dense.image, &fov.image, &boundaries);

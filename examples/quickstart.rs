@@ -32,7 +32,10 @@ fn main() {
         100.0 * system.l1.len() as f32 / scene.model.len() as f32,
         100.0 * system.storage_fraction()
     );
-    println!("foveated levels: {:?} points", system.fov.level_point_counts());
+    println!(
+        "foveated levels: {:?} points",
+        system.fov.level_point_counts()
+    );
 
     // Evaluate dense vs. MetaSapiens on the training views.
     let cams = system.train_cameras.clone();

@@ -72,6 +72,10 @@ fn main() {
     println!("\nmodeled FPS over the walkthrough: mean {mean:.1}, 1st percentile {p1:.1}");
     println!(
         "VR target 90 FPS sustained: {}",
-        if p1 >= 90.0 { "YES" } else { "no (reduced-scale extrapolation)" }
+        if p1 >= 90.0 {
+            "YES"
+        } else {
+            "no (reduced-scale extrapolation)"
+        }
     );
 }

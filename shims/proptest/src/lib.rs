@@ -1,0 +1,283 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build image cannot reach crates.io, so this shim implements the
+//! subset of proptest used by the workspace's property tests:
+//!
+//! * the [`proptest!`] macro (`fn name(x in strategy, ..) { body }`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * range strategies over floats and integers,
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * [`array::uniform3`] / [`array::uniform9`].
+//!
+//! Differences from upstream, deliberately accepted for an offline shim:
+//! cases are drawn from a seed derived from the test name (deterministic
+//! across runs), there is no shrinking (the failing input is printed
+//! as-is), and `prop_assume!` skips the case instead of retrying it.
+
+use std::ops::Range;
+
+/// Number of cases each property runs.
+pub const CASES: usize = 96;
+
+/// Deterministic RNG used to drive property tests.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Test-case RNG (a seeded [`rand::rngs::StdRng`]).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Derive a deterministic RNG from the test's name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self(rand::rngs::StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+/// A generator of test-case values (mirrors `proptest::strategy::Strategy`
+/// with sampling in place of value trees — no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy producing one fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{test_runner::TestRng, Strategy};
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng;
+            let n = rng.0.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (mirrors `proptest::array`).
+pub mod array {
+    use super::{test_runner::TestRng, Strategy};
+
+    /// Strategy for `[S::Value; N]` drawing each element from `element`.
+    #[derive(Debug, Clone)]
+    pub struct ArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    /// `[T; 3]` strategy.
+    pub fn uniform3<S: Strategy>(element: S) -> ArrayStrategy<S, 3> {
+        ArrayStrategy { element }
+    }
+
+    /// `[T; 9]` strategy.
+    pub fn uniform9<S: Strategy>(element: S) -> ArrayStrategy<S, 9> {
+        ArrayStrategy { element }
+    }
+}
+
+/// The `proptest!` macro: a deterministic N-case sampling loop per test.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let inputs = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        ::std::panic!(
+                            "property {} failed at case {} [{}]: {}",
+                            stringify!($name), case, inputs, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("prop_assert!({}) failed", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fallible equality assertion inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}",
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Discard the current case when its precondition fails. This shim skips
+/// the case (upstream proptest redraws); properties stay sound, coverage
+/// of narrow preconditions is merely lower.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let x = Strategy::sample(&(-3.0f32..9.0), &mut rng);
+            assert!((-3.0..9.0).contains(&x));
+            let v = Strategy::sample(&crate::collection::vec(0u32..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+            let a = Strategy::sample(&crate::array::uniform3(0.0f64..1.0), &mut rng);
+            assert!(a.iter().all(|&e| (0.0..1.0).contains(&e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_drives_cases(x in 0u32..100, v in crate::collection::vec(0i32..10, 3)) {
+            prop_assume!(x != 17);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

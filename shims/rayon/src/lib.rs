@@ -1,0 +1,160 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build image cannot reach crates.io, so this shim implements the
+//! subset of rayon's API the workspace uses — [`scope`], [`Scope::spawn`],
+//! [`join`] and [`current_num_threads`] — on top of `std::thread::scope`.
+//! There is no work-stealing pool: each `scope` call runs its spawned tasks
+//! in rounds of OS threads. Callers (the band rasterizer in `ms-render`)
+//! spawn one task per worker and drain a shared queue, so round semantics
+//! and pool semantics coincide where it matters.
+//!
+//! Semantics preserved from rayon:
+//! * `scope` returns only after every spawned task (including tasks spawned
+//!   from inside other tasks) has finished;
+//! * a panicking task propagates out of `scope`;
+//! * tasks may borrow from the enclosing stack frame (`'env` lifetime).
+
+use std::sync::Mutex;
+
+type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// A scope in which tasks can be spawned (mirrors `rayon::Scope`).
+pub struct Scope<'env> {
+    jobs: Mutex<Vec<Job<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `body` to run before the enclosing [`scope`] call returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.jobs
+            .lock()
+            .expect("scope poisoned")
+            .push(Box::new(body));
+    }
+
+    fn take_jobs(&self) -> Vec<Job<'env>> {
+        std::mem::take(&mut *self.jobs.lock().expect("scope poisoned"))
+    }
+}
+
+/// Create a scope, run `op` in it, then run every spawned task to
+/// completion before returning (mirrors `rayon::scope`).
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'env>) -> R,
+{
+    let s = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let result = op(&s);
+    loop {
+        let jobs = s.take_jobs();
+        if jobs.is_empty() {
+            break;
+        }
+        let sref = &s;
+        std::thread::scope(|ts| {
+            let mut handles = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                handles.push(ts.spawn(move || job(sref)));
+            }
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+    }
+    result
+}
+
+/// Run two closures, potentially in parallel, and return both results
+/// (mirrors `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|ts| {
+        let hb = ts.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of threads a parallel region will use (mirrors
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_before_returning() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tasks_can_borrow_stack_data() {
+        let data = [1u32, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum::<u32>() as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build image cannot reach crates.io, and nothing in this workspace
+//! actually serializes through serde's data model (the only binary codec is
+//! the hand-written one in `ms-scene::io`; configs round-trip via `Clone` +
+//! `PartialEq`). The `#[derive(Serialize, Deserialize)]` markers are kept on
+//! types so that swapping in the real serde later is a manifest change, not
+//! a code change.
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented for every type, so
+//! generic bounds (if any appear later) stay satisfiable; the derive macros
+//! re-exported from `serde_derive` expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

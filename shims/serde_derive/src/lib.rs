@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build image has no network access, so the real `serde_derive` cannot
+//! be fetched. This workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as a marker (no self-describing format is wired up anywhere; the model
+//! checkpoint codec in `ms-scene` is hand-written binary), so the derives
+//! here accept the same input — including `#[serde(...)]` field attributes —
+//! and expand to nothing. The trait obligations are discharged by blanket
+//! impls in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

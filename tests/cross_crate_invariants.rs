@@ -12,7 +12,9 @@ use metasapiens::train::ce::{compute_ce, CeOptions};
 use metasapiens::train::prune::prune_fraction;
 
 fn scene() -> metasapiens::scene::synth::Scene {
-    TraceId::by_name("kitchen").unwrap().build_scene_with_scale(0.004)
+    TraceId::by_name("kitchen")
+        .unwrap()
+        .build_scene_with_scale(0.004)
 }
 
 fn small_cams(s: &metasapiens::scene::synth::Scene, n: usize) -> Vec<Camera> {
@@ -20,7 +22,11 @@ fn small_cams(s: &metasapiens::scene::synth::Scene, n: usize) -> Vec<Camera> {
         .iter()
         .step_by((s.train_cameras.len() / n).max(1))
         .take(n)
-        .map(|c| Camera { width: 96, height: 72, ..*c })
+        .map(|c| Camera {
+            width: 96,
+            height: 72,
+            ..*c
+        })
         .collect()
 }
 
@@ -42,7 +48,12 @@ fn dominated_pixels_never_exceed_image() {
     let cams = small_cams(&s, 1);
     let renderer = Renderer::new(RenderOptions::with_point_stats());
     let out = renderer.render(&s.model, &cams[0]);
-    let dominated: u64 = out.stats.point_pixels_dominated.iter().map(|&d| d as u64).sum();
+    let dominated: u64 = out
+        .stats
+        .point_pixels_dominated
+        .iter()
+        .map(|&d| d as u64)
+        .sum();
     assert!(dominated <= (96 * 72) as u64);
 }
 
@@ -53,7 +64,10 @@ fn ce_pruning_beats_inverse_ce_pruning() {
     let s = scene();
     let cams = small_cams(&s, 2);
     let renderer = Renderer::default();
-    let refs: Vec<_> = cams.iter().map(|c| renderer.render(&s.model, c).image).collect();
+    let refs: Vec<_> = cams
+        .iter()
+        .map(|c| renderer.render(&s.model, c).image)
+        .collect();
 
     let ce = compute_ce(&s.model, &cams, &CeOptions::default());
     let (keep_good, _) = prune_fraction(&s.model, &ce, 0.5);
@@ -95,10 +109,12 @@ fn fig4_latency_tracks_intersections_not_points() {
         let out = renderer.render(&b.model, &cams[0]);
         points.push(b.model.len() as f64);
         isects.push(out.stats.total_intersections as f64);
-        latencies.push(gpu.frame_latency(
-            &FrameWorkload::from_stats(&out.stats, false)
-                .scaled(scale.point_factor, scale.pixel_factor),
-        ));
+        latencies.push(
+            gpu.frame_latency(
+                &FrameWorkload::from_stats(&out.stats, false)
+                    .scaled(scale.point_factor, scale.pixel_factor),
+            ),
+        );
     }
     fn pearson(a: &[f64], b: &[f64]) -> f64 {
         let n = a.len() as f64;
@@ -129,7 +145,10 @@ fn quality_reference_baseline_is_best() {
     let s = scene();
     let cams = small_cams(&s, 2);
     let renderer = Renderer::default();
-    let refs: Vec<_> = cams.iter().map(|c| renderer.render(&s.model, c).image).collect();
+    let refs: Vec<_> = cams
+        .iter()
+        .map(|c| renderer.render(&s.model, c).image)
+        .collect();
 
     let msd = build_baseline(BaselineKind::MiniSplattingD, &s, &cams);
     let psnr_of = |b: &metasapiens::baselines::BaselineModel| {
@@ -141,7 +160,11 @@ fn quality_reference_baseline_is_best() {
             / cams.len() as f32
     };
     let msd_psnr = psnr_of(&msd);
-    for kind in [BaselineKind::LightGs, BaselineKind::CompactGs, BaselineKind::MiniSplatting] {
+    for kind in [
+        BaselineKind::LightGs,
+        BaselineKind::CompactGs,
+        BaselineKind::MiniSplatting,
+    ] {
         let b = build_baseline(kind, &s, &cams);
         assert!(
             psnr_of(&b) <= msd_psnr + 0.5,
@@ -222,7 +245,9 @@ fn rendering_a_subset_never_adds_work() {
     let cams = small_cams(&s, 1);
     let renderer = Renderer::default();
     let full = renderer.render(&s.model, &cams[0]);
-    let half = s.model.subset(&(0..s.model.len()).step_by(2).collect::<Vec<_>>());
+    let half = s
+        .model
+        .subset(&(0..s.model.len()).step_by(2).collect::<Vec<_>>());
     let out = renderer.render(&half, &cams[0]);
     assert!(out.stats.total_intersections <= full.stats.total_intersections);
     assert!(out.stats.blend_steps <= full.stats.blend_steps);
@@ -238,7 +263,10 @@ fn rendered_pixels_stay_in_gamut() {
     let cams = small_cams(&s, 1);
     let out = Renderer::default().render(&s.model, &cams[0]);
     for p in out.image.pixels() {
-        assert!(p.x >= 0.0 && p.y >= 0.0 && p.z >= 0.0, "negative channel: {p}");
+        assert!(
+            p.x >= 0.0 && p.y >= 0.0 && p.z >= 0.0,
+            "negative channel: {p}"
+        );
         assert!(p.max_component() < 1.6, "out-of-gamut pixel: {p}");
     }
 }
@@ -261,7 +289,11 @@ fn headline_claim_metasapiens_is_real_time_class() {
     let ours = evaluate_foveated(&system.fov, &RenderOptions::default(), &cams, &refs, scale);
     // `room` is the corpus' smallest trace; dense still sits well below the
     // 75-90 FPS VR bar (Fig. 3's upper whiskers reach ~25 FPS).
-    assert!(dense.fps < 35.0, "dense should be below VR rates: {}", dense.fps);
+    assert!(
+        dense.fps < 35.0,
+        "dense should be below VR rates: {}",
+        dense.fps
+    );
     assert!(
         ours.fps > dense.fps * 4.0,
         "MetaSapiens-L should be several times faster: {} vs {}",

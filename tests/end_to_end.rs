@@ -11,7 +11,9 @@ use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 
 fn test_scene() -> metasapiens::scene::synth::Scene {
-    TraceId::by_name("room").unwrap().build_scene_with_scale(0.004)
+    TraceId::by_name("room")
+        .unwrap()
+        .build_scene_with_scale(0.004)
 }
 
 #[test]
@@ -33,10 +35,31 @@ fn full_pipeline_h_variant() {
     // Foveated rendering is cheaper than dense rendering and keeps quality.
     let cams = system.train_cameras.clone();
     let refs = system.references.clone();
-    let dense = evaluate_model(&scene.model, &RenderOptions::default(), &cams, &refs, ScaleFactors::identity());
-    let ours = evaluate_foveated(&system.fov, &RenderOptions::default(), &cams, &refs, ScaleFactors::identity());
-    assert!(ours.fps > dense.fps, "ours {} dense {}", ours.fps, dense.fps);
-    assert!(ours.psnr_db > 18.0, "quality collapsed: {} dB", ours.psnr_db);
+    let dense = evaluate_model(
+        &scene.model,
+        &RenderOptions::default(),
+        &cams,
+        &refs,
+        ScaleFactors::identity(),
+    );
+    let ours = evaluate_foveated(
+        &system.fov,
+        &RenderOptions::default(),
+        &cams,
+        &refs,
+        ScaleFactors::identity(),
+    );
+    assert!(
+        ours.fps > dense.fps,
+        "ours {} dense {}",
+        ours.fps,
+        dense.fps
+    );
+    assert!(
+        ours.psnr_db > 18.0,
+        "quality collapsed: {} dB",
+        ours.psnr_db
+    );
 }
 
 #[test]
@@ -58,7 +81,12 @@ fn gpu_and_accelerator_agree_on_ordering() {
 
     let config = AccelConfig::metasapiens_tm_ip();
     let dense_acc = simulate(
-        &AccelWorkload::from_stats(&dense_out.stats, None, 0, scene.model.storage_bytes() as u64),
+        &AccelWorkload::from_stats(
+            &dense_out.stats,
+            None,
+            0,
+            scene.model.storage_bytes() as u64,
+        ),
         &config,
     );
     let l1_acc = simulate(
@@ -68,7 +96,10 @@ fn gpu_and_accelerator_agree_on_ordering() {
     assert!(l1_acc.cycles < dense_acc.cycles);
 
     // The accelerator is much faster than the modeled GPU on either frame.
-    assert!(dense_acc.latency_s < dense_gpu, "accel should beat the mobile GPU");
+    assert!(
+        dense_acc.latency_s < dense_gpu,
+        "accel should beat the mobile GPU"
+    );
 }
 
 #[test]
@@ -95,7 +126,10 @@ fn accelerator_tm_ip_ladder_on_real_fov_frame() {
     let tm_ip = simulate(&workload, &AccelConfig::metasapiens_tm_ip()).cycles;
     assert!(tm <= base, "TM should not slow things down: {tm} vs {base}");
     assert!(tm_ip <= tm, "IP should stack: {tm_ip} vs {tm}");
-    assert!(tm_ip < base, "the full design must strictly win: {tm_ip} vs {base}");
+    assert!(
+        tm_ip < base,
+        "the full design must strictly win: {tm_ip} vs {base}"
+    );
 }
 
 #[test]
@@ -135,7 +169,11 @@ fn moving_gaze_stays_functional() {
     };
     let fr = FoveatedRenderer::new(RenderOptions::default());
     for (gx, gy) in [(10.0, 10.0), (64.0, 48.0), (120.0, 90.0)] {
-        let out = fr.render(&system.fov, &cam, Some(metasapiens::math::Vec2::new(gx, gy)));
+        let out = fr.render(
+            &system.fov,
+            &cam,
+            Some(metasapiens::math::Vec2::new(gx, gy)),
+        );
         assert_eq!(out.image.width(), 128);
         assert!(out.stats.total_intersections > 0);
     }

@@ -7,7 +7,9 @@ use metasapiens::scene::{decode_model, encode_model};
 #[test]
 fn generated_models_roundtrip_through_checkpoints() {
     for name in ["bicycle", "room", "truck"] {
-        let scene = TraceId::by_name(name).unwrap().build_scene_with_scale(0.002);
+        let scene = TraceId::by_name(name)
+            .unwrap()
+            .build_scene_with_scale(0.002);
         let bytes = encode_model(&scene.model);
         let back = decode_model(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(scene.model, back, "{name} roundtrip");
@@ -16,14 +18,18 @@ fn generated_models_roundtrip_through_checkpoints() {
 
 #[test]
 fn checkpoint_size_matches_storage_accounting() {
-    let scene = TraceId::by_name("bonsai").unwrap().build_scene_with_scale(0.002);
+    let scene = TraceId::by_name("bonsai")
+        .unwrap()
+        .build_scene_with_scale(0.002);
     let bytes = encode_model(&scene.model);
     assert_eq!(bytes.len(), 16 + scene.model.storage_bytes());
 }
 
 #[test]
 fn corrupted_checkpoints_are_rejected_not_crashing() {
-    let scene = TraceId::by_name("train").unwrap().build_scene_with_scale(0.002);
+    let scene = TraceId::by_name("train")
+        .unwrap()
+        .build_scene_with_scale(0.002);
     let bytes = encode_model(&scene.model).to_vec();
     // Flip bytes at a few positions; decode must return Err (or, if the
     // flipped byte only touches payload floats that stay finite and valid,
@@ -35,7 +41,10 @@ fn corrupted_checkpoints_are_rejected_not_crashing() {
     }
     // Truncations must error cleanly at every prefix length we try.
     for keep in [0usize, 3, 15, 16, 64, bytes.len() - 1] {
-        assert!(decode_model(&bytes[..keep]).is_err(), "prefix {keep} accepted");
+        assert!(
+            decode_model(&bytes[..keep]).is_err(),
+            "prefix {keep} accepted"
+        );
     }
 }
 
