@@ -37,6 +37,13 @@ fn bench_build(c: &mut Criterion) {
     group.bench_function("csr", |b| {
         b.iter(|| TileBins::build(black_box(&s.splats), s.grid));
     });
+    // Sharded pass-1 counting + parallel per-tile sorts on the worker pool;
+    // output is bit-identical to the serial build.
+    for threads in [2usize, 4] {
+        group.bench_function(&format!("csr_threads_{threads}"), |b| {
+            b.iter(|| TileBins::build_with_threads(black_box(&s.splats), s.grid, threads));
+        });
+    }
     group.bench_function("naive_vec_of_vecs", |b| {
         b.iter(|| TileBins::build_naive(black_box(&s.splats), s.grid, |_, _| true));
     });

@@ -1,10 +1,12 @@
 //! Criterion benchmarks of the higher-level pipeline steps: CE computation,
-//! one prune round, one fine-tune iteration, and foveated vs dense frame
-//! rendering (the wall-clock counterpart of the paper's FPS comparisons).
+//! one prune round, one fine-tune iteration, foveated vs dense frame
+//! rendering (the wall-clock counterpart of the paper's FPS comparisons),
+//! and thread scaling of the parallel pipeline stages with a per-stage
+//! wall-time report from `FrameProfile`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use metasapiens::fov::{build_foveated, FoveatedRenderer, FrBuildConfig};
-use metasapiens::render::{RenderOptions, Renderer};
+use metasapiens::render::{RenderOptions, Renderer, StageKind};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 use metasapiens::train::ce::{compute_ce, CeOptions};
@@ -100,6 +102,56 @@ fn bench_dense_vs_foveated_frame(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole-frame render at each worker count, plus a per-stage wall-time
+/// report so Project/Bin/Raster scaling is visible individually — the
+/// measure-then-rebalance loop the workload analysis calls for.
+fn bench_render_thread_scaling(c: &mut Criterion) {
+    let s = setup();
+    let cam = &s.cameras[0];
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut group = c.benchmark_group("render_threads");
+    for &threads in &thread_counts {
+        let renderer = Renderer::new(RenderOptions {
+            threads,
+            ..RenderOptions::default()
+        });
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| renderer.render(&s.scene.model, cam));
+        });
+    }
+    group.finish();
+
+    // Per-stage wall times (best of N frames, from the frame's own
+    // FrameProfile): Project and Bin must shrink as threads grow.
+    const FRAMES: usize = 5;
+    let stages = [
+        StageKind::Project,
+        StageKind::Bin,
+        StageKind::Raster,
+        StageKind::Composite,
+    ];
+    for &threads in &thread_counts {
+        let renderer = Renderer::new(RenderOptions {
+            threads,
+            ..RenderOptions::default()
+        });
+        let best = (0..FRAMES)
+            .map(|_| renderer.render(&s.scene.model, cam).stats.profile)
+            .min_by_key(|p| p.total_wall())
+            .expect("at least one frame");
+        let per_stage: Vec<String> = stages
+            .iter()
+            .map(|&k| format!("{} {:>7.1}µs", k.name(), best.wall(k).as_secs_f64() * 1e6))
+            .collect();
+        println!(
+            "stage_walls threads={threads}  {}  total {:>7.1}µs",
+            per_stage.join("  "),
+            best.total_wall().as_secs_f64() * 1e6
+        );
+    }
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -111,6 +163,6 @@ criterion_group! {
     name = pipeline;
     config = configured();
     targets = bench_ce, bench_prune_round, bench_finetune_iteration,
-              bench_dense_vs_foveated_frame
+              bench_dense_vs_foveated_frame, bench_render_thread_scaling
 }
 criterion_main!(pipeline);

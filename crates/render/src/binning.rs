@@ -13,6 +13,28 @@
 use crate::projection::ProjectedSplat;
 use crate::stats::TileGridDims;
 
+/// Below this splat count CSR pass 1 runs serially even when more workers
+/// are requested — the per-task overhead would exceed the counting work.
+/// Sharding never changes the output, only the wall time.
+const MIN_SPLATS_PER_SHARD: usize = 512;
+
+/// Count tile-ellipse intersections for `splats[range]` into `counts`
+/// (indexed row-major, masked by `active`).
+fn count_range(
+    splats: &[ProjectedSplat],
+    range: std::ops::Range<usize>,
+    tiles_x: u32,
+    active: &[bool],
+    counts: &mut [u32],
+) {
+    for splat in &splats[range] {
+        for (tx, ty) in splat.tiles.iter() {
+            let idx = (ty * tiles_x + tx) as usize;
+            counts[idx] += active[idx] as u32;
+        }
+    }
+}
+
 /// Per-tile splat index lists, depth-sorted front-to-back, in a flat CSR
 /// layout.
 ///
@@ -31,9 +53,24 @@ pub struct TileBins {
 
 impl TileBins {
     /// Duplicate each splat into every tile its bounding rectangle overlaps
-    /// and sort each tile's list front-to-back by depth.
+    /// and sort each tile's list front-to-back by depth. Serial build; see
+    /// [`TileBins::build_with_threads`] for the pool-parallel variant.
     pub fn build(splats: &[ProjectedSplat], grid: TileGridDims) -> Self {
-        Self::build_filtered(splats, grid, |_, _| true)
+        Self::build_with_threads(splats, grid, 1)
+    }
+
+    /// [`TileBins::build`] with counting pass 1 and the per-tile depth sort
+    /// distributed over `threads` workers (`0` = all pool workers, like
+    /// [`RenderOptions::threads`](crate::RenderOptions)). Bit-identical to
+    /// the serial build for every thread count: per-worker count arrays
+    /// merge before the prefix sum, the scatter pass visits splats in model
+    /// order, and sort segments are disjoint.
+    pub fn build_with_threads(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
+        threads: usize,
+    ) -> Self {
+        Self::build_filtered_with_threads(splats, grid, |_, _| true, threads)
     }
 
     /// [`TileBins::build`] restricted to tiles where `tile_active(tx, ty)`
@@ -43,7 +80,21 @@ impl TileBins {
     pub fn build_filtered<F: FnMut(u32, u32) -> bool>(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
+        tile_active: F,
+    ) -> Self {
+        Self::build_filtered_with_threads(splats, grid, tile_active, 1)
+    }
+
+    /// [`TileBins::build_filtered`] on `threads` workers (see
+    /// [`TileBins::build_with_threads`] for the determinism argument).
+    ///
+    /// The activity predicate is evaluated once per tile up front on the
+    /// calling thread, so it may be `FnMut` and need not be `Sync`.
+    pub fn build_filtered_with_threads<F: FnMut(u32, u32) -> bool>(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
         mut tile_active: F,
+        threads: usize,
     ) -> Self {
         let tile_count = grid.tile_count();
         let active: Vec<bool> = (0..grid.tiles_y)
@@ -51,12 +102,27 @@ impl TileBins {
             .map(|(tx, ty)| tile_active(tx, ty))
             .collect();
 
-        // Pass 1: count intersections per tile.
-        let mut counts = vec![0u32; tile_count];
-        for splat in splats {
-            for (tx, ty) in splat.tiles.iter() {
-                let idx = (ty * grid.tiles_x + tx) as usize;
-                counts[idx] += active[idx] as u32;
+        let threads = if threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            threads
+        };
+        let shards = threads.min(splats.len() / MIN_SPLATS_PER_SHARD).max(1);
+
+        // Pass 1: count intersections per tile. Sharded over contiguous
+        // splat ranges, one count array per worker, merged below — exact
+        // integer counts, so the merge order cannot change the result.
+        let mut parts = crate::par::shard_map(splats.len(), shards, |range| {
+            let mut part = vec![0u32; tile_count];
+            count_range(splats, range, grid.tiles_x, &active, &mut part);
+            part
+        });
+        let mut counts = parts.swap_remove(0);
+        for part in parts {
+            for (acc, c) in counts.iter_mut().zip(part) {
+                *acc = acc
+                    .checked_add(c)
+                    .expect("tile-intersection count overflows u32 CSR offsets");
             }
         }
 
@@ -73,7 +139,8 @@ impl TileBins {
 
         // Pass 2: scatter splat indices to their tile segments. Splats are
         // visited in model order, so each segment is filled in submission
-        // order — the same order the nested-Vec layout produced.
+        // order — the same order the nested-Vec layout produced. Serial: a
+        // single linear pass over the splats, cheap next to the sorts.
         let mut indices = vec![0u32; running as usize];
         let mut cursor: Vec<u32> = offsets[..tile_count].to_vec();
         for (si, splat) in splats.iter().enumerate() {
@@ -88,22 +155,80 @@ impl TileBins {
 
         // Depth-sort each tile segment front-to-back. `sort_by` is stable,
         // so equal depths keep submission order, matching the previous
-        // layout's behavior exactly.
-        for i in 0..tile_count {
-            let seg = &mut indices[offsets[i] as usize..offsets[i + 1] as usize];
-            seg.sort_by(|&a, &b| {
-                splats[a as usize]
-                    .depth
-                    .partial_cmp(&splats[b as usize].depth)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-        }
+        // layout's behavior exactly. Segments are disjoint, so the sorts
+        // parallelize over contiguous tile ranges (balanced by segment
+        // mass) without changing any segment's result.
+        Self::sort_segments(splats, &offsets, &mut indices, tile_count, shards);
 
         Self {
             grid,
             offsets,
             indices,
         }
+    }
+
+    /// Depth-sort every tile segment of `indices`, splitting the tiles into
+    /// up to `shards` contiguous ranges of roughly equal intersection mass
+    /// and sorting ranges on the worker pool.
+    fn sort_segments(
+        splats: &[ProjectedSplat],
+        offsets: &[u32],
+        indices: &mut [u32],
+        tile_count: usize,
+        shards: usize,
+    ) {
+        let by_depth = |&a: &u32, &b: &u32| {
+            splats[a as usize]
+                .depth
+                .partial_cmp(&splats[b as usize].depth)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        };
+
+        if shards <= 1 || indices.is_empty() {
+            for i in 0..tile_count {
+                let seg = &mut indices[offsets[i] as usize..offsets[i + 1] as usize];
+                seg.sort_by(by_depth);
+            }
+            return;
+        }
+
+        // Contiguous tile ranges balanced by total segment length.
+        let target = indices.len().div_ceil(shards).max(1);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(shards);
+        let (mut start, mut acc) = (0usize, 0usize);
+        for t in 0..tile_count {
+            acc += (offsets[t + 1] - offsets[t]) as usize;
+            if acc >= target {
+                ranges.push((start, t + 1));
+                start = t + 1;
+                acc = 0;
+            }
+        }
+        if start < tile_count {
+            ranges.push((start, tile_count));
+        }
+
+        // Carve `indices` into one disjoint slice per range.
+        let mut tasks: Vec<(usize, usize, &mut [u32])> = Vec::with_capacity(ranges.len());
+        let mut rest = indices;
+        for &(s, e) in &ranges {
+            let len = (offsets[e] - offsets[s]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            tasks.push((s, e, head));
+            rest = tail;
+        }
+        rayon::scope(|sc| {
+            for (s, e, slice) in tasks {
+                sc.spawn(move |_| {
+                    let base = offsets[s];
+                    for t in s..e {
+                        let seg = &mut slice
+                            [(offsets[t] - base) as usize..(offsets[t + 1] - base) as usize];
+                        seg.sort_by(by_depth);
+                    }
+                });
+            }
+        });
     }
 
     /// Reference implementation with the old nested `Vec<Vec<u32>>` layout.
@@ -353,6 +478,32 @@ mod tests {
                     naive.iter().map(|b| b.len() as u64).sum::<u64>()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        // Enough splats to shard (above MIN_SPLATS_PER_SHARD per worker).
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(77);
+        let splats = random_splats(&mut rng, 5000, g);
+        let serial = TileBins::build(&splats, g);
+        for threads in [2usize, 3, 8, 0] {
+            let par = TileBins::build_with_threads(&splats, g, threads);
+            assert_eq!(par, serial, "CSR bins differ at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_filtered_build_is_bit_identical_to_serial() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(78);
+        let splats = random_splats(&mut rng, 4000, g);
+        let active = |tx: u32, ty: u32| (tx + ty) % 2 == 0;
+        let serial = TileBins::build_filtered(&splats, g, active);
+        for threads in [2usize, 3, 8, 0] {
+            let par = TileBins::build_filtered_with_threads(&splats, g, active, threads);
+            assert_eq!(par, serial, "filtered bins differ at threads={threads}");
         }
     }
 

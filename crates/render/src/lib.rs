@@ -39,6 +39,7 @@
 mod binning;
 mod image;
 mod options;
+mod par;
 pub mod pipeline;
 mod projection;
 mod raster;

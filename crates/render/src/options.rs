@@ -46,11 +46,13 @@ pub struct RenderOptions {
     /// Record per-point dominance counts (`Val` of Eqn. 3) and per-point
     /// tile-usage counts (`Comp`). Costs one extra image-sized buffer.
     pub track_point_stats: bool,
-    /// Rasterization worker threads for the band-parallel Raster stage:
-    /// `1` rasterizes inline on the calling thread (bit-exact with every
-    /// other setting, the determinism reference), `0` uses all available
-    /// cores, `n > 1` uses exactly `n` workers. Output is identical for
-    /// every value — bands are assembled in index order.
+    /// Worker threads for the parallel pipeline stages (Project, Bin and
+    /// Raster): `1` runs every stage inline on the calling thread (the
+    /// determinism reference), `0` uses all available cores, `n > 1` uses
+    /// exactly `n` workers from the persistent pool. Output is bit-identical
+    /// for every value — projection shards concatenate in point order, CSR
+    /// count arrays merge before the prefix sum, and raster bands are
+    /// assembled in index order.
     pub threads: usize,
 }
 
@@ -106,6 +108,20 @@ impl RenderOptions {
         if self.extent_sigma <= 0.0 {
             return Err("extent_sigma must be positive".into());
         }
+        if self.dilation.is_nan() || self.dilation < 0.0 {
+            return Err(format!(
+                "dilation {} must be >= 0 (a negative dilation yields non-PSD \
+                 covariances and NaN conics downstream)",
+                self.dilation
+            ));
+        }
+        if self.t_min.is_nan() || self.t_min <= 0.0 {
+            return Err(format!(
+                "t_min {} must be > 0 (a non-positive early-stop threshold \
+                 never terminates compositing)",
+                self.t_min
+            ));
+        }
         Ok(())
     }
 }
@@ -143,6 +159,46 @@ mod tests {
             ..RenderOptions::default()
         };
         assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn negative_dilation_rejected() {
+        // Regression: a negative dilation yields non-PSD screen covariances
+        // and NaN conics downstream; validate used to accept it.
+        let o = RenderOptions {
+            dilation: -0.1,
+            ..RenderOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = RenderOptions {
+            dilation: f32::NAN,
+            ..RenderOptions::default()
+        };
+        assert!(o.validate().is_err());
+        // Zero dilation (no low-pass filter) stays legal.
+        let o = RenderOptions {
+            dilation: 0.0,
+            ..RenderOptions::default()
+        };
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn non_positive_t_min_rejected() {
+        // Regression: validate used to accept t_min <= 0, which disables
+        // the transmittance early stop entirely.
+        for bad in [0.0f32, -1e-4, f32::NAN] {
+            let o = RenderOptions {
+                t_min: bad,
+                ..RenderOptions::default()
+            };
+            assert!(o.validate().is_err(), "t_min {bad} should be rejected");
+        }
+        let o = RenderOptions {
+            t_min: 1e-6,
+            ..RenderOptions::default()
+        };
+        assert!(o.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Shared sharding helper for the parallel pipeline stages.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Split `0..n` into `shards` contiguous ranges, run `f` over each on the
+/// worker pool, and return the per-shard results **in range order** — the
+/// property the deterministic concatenation/merge steps of Project and Bin
+/// rely on.
+///
+/// `shards <= 1` runs inline on the calling thread without touching the
+/// pool. Over-sharding is safe: ranges are clamped to `n`, so trailing
+/// shards simply receive empty ranges.
+pub(crate) fn shard_map<T, F>(n: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if shards <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(shards).max(1);
+    let slots: Vec<Mutex<Option<T>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    rayon::scope(|s| {
+        for (w, slot) in slots.iter().enumerate() {
+            s.spawn(move |_| {
+                let start = (w * chunk).min(n);
+                let end = ((w + 1) * chunk).min(n);
+                *slot.lock().expect("shard slot poisoned") = Some(f(start..end));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(w, slot)| {
+            slot.into_inner()
+                .expect("shard slot poisoned")
+                .unwrap_or_else(|| panic!("shard {w} missing"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ranges must partition `0..n` in order, for every shard count —
+    /// including shard counts far above `n` (regression: a shard start
+    /// past `n` used to underflow the range and panic downstream).
+    #[test]
+    fn shards_partition_in_order() {
+        for n in [0usize, 1, 5, 7, 513, 1000] {
+            for shards in [1usize, 2, 3, 4, 16, 515, 2000] {
+                let ranges = shard_map(n, shards, |r| r);
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start, "n={n} shards={shards}");
+                    assert!(r.end >= r.start && r.end <= n, "n={n} shards={shards}");
+                    expect_start = r.end;
+                }
+                assert_eq!(expect_start, n, "n={n} shards={shards} must cover 0..n");
+            }
+        }
+    }
+
+    #[test]
+    fn results_keep_shard_order() {
+        let parts = shard_map(100, 7, |r| r.start);
+        let mut sorted = parts.clone();
+        sorted.sort_unstable();
+        assert_eq!(parts, sorted);
+    }
+}

@@ -8,16 +8,38 @@
 //!
 //! ```text
 //!   GaussianModel ──▶ [Project] ──▶ Vec<ProjectedSplat>
-//!                                     │
+//!                                     │      (sharded over point ranges)
 //!                                     ▼
 //!                                  [Bin]     counting-sort CSR tile bins
-//!                                     │
+//!                                     │      (sharded pass 1 + parallel sorts)
 //!                                     ▼
 //!                                  [Raster]  per-band compositing
 //!                                     │      (serial or `threads`-way parallel)
 //!                                     ▼
 //!                                  [Composite] band merge → Image + winners
 //! ```
+//!
+//! # Parallelism and the determinism contract
+//!
+//! Three of the four stages parallelize across the persistent worker pool
+//! when [`RenderOptions::threads`](crate::RenderOptions) is not `1`
+//! (Composite is a cheap serial merge):
+//!
+//! * **Project** shards the model's point range into contiguous chunks;
+//!   chunk outputs concatenate in chunk order, so splat order stays model
+//!   order.
+//! * **Bin** shards CSR pass 1 (counting) over contiguous splat ranges and
+//!   merges the per-worker count arrays before the prefix sum; the scatter
+//!   pass stays a serial walk in model order, and the per-tile depth sorts
+//!   run on disjoint segments.
+//! * **Raster** distributes tile bands over workers; each band result lands
+//!   in its own slot and bands are assembled in index order.
+//!
+//! The contract, enforced by `tests/determinism.rs`: for every thread
+//! count (including auto), a frame's image, winner buffer and
+//! [`FrameProfile`] work counters are **bit-identical** to the
+//! `threads = 1` serial reference, on both plain and masked renders. Only
+//! wall times may differ between runs.
 //!
 //! Each stage is a [`Stage`] implementation executed by a [`Profiler`],
 //! which records one [`StageSample`] per stage — wall time plus a
@@ -148,6 +170,15 @@ impl FrameProfile {
 
     /// Fold `other`'s samples into `self` (used by the foveated renderer to
     /// aggregate per-level passes into one frame profile).
+    ///
+    /// Merging is **by kind, first occurrence wins the slot**: each of
+    /// `other`'s samples adds its wall time and work counter to the first
+    /// existing sample of the same [`StageKind`]; kinds `self` has not seen
+    /// yet are appended in `other`'s order. Absorbing therefore preserves
+    /// `self`'s stage ordering (and execution order overall when both
+    /// profiles ran the standard Project → Bin → Raster → Composite graph),
+    /// but collapses repeated samples of one kind into a single aggregate —
+    /// `samples` is no longer one entry per execution after a merge.
     pub fn absorb(&mut self, other: &FrameProfile) {
         for s in &other.samples {
             match self.samples.iter_mut().find(|m| m.kind == s.kind) {
@@ -214,7 +245,12 @@ impl Profiler {
 // ---------------------------------------------------------------------------
 
 /// Projection stage: model → screen-space splats (with admission predicate).
-pub struct ProjectStage<'a, F: FnMut(usize) -> bool> {
+///
+/// Points are sharded over contiguous ranges onto the worker pool when
+/// `options.threads != 1`; shard outputs concatenate in range order, so
+/// splat order stays model order for every thread count. The predicate is
+/// `Fn + Sync` because shards evaluate it concurrently.
+pub struct ProjectStage<'a, F: Fn(usize) -> bool + Sync> {
     /// Model to project.
     pub model: &'a GaussianModel,
     /// View camera.
@@ -225,7 +261,7 @@ pub struct ProjectStage<'a, F: FnMut(usize) -> bool> {
     pub admit: F,
 }
 
-impl<F: FnMut(usize) -> bool> Stage for ProjectStage<'_, F> {
+impl<F: Fn(usize) -> bool + Sync> Stage for ProjectStage<'_, F> {
     type In = ();
     type Out = Vec<ProjectedSplat>;
 
@@ -234,7 +270,7 @@ impl<F: FnMut(usize) -> bool> Stage for ProjectStage<'_, F> {
     }
 
     fn run(&mut self, _input: ()) -> Self::Out {
-        project_model_filtered(self.model, self.camera, self.options, &mut self.admit)
+        project_model_filtered(self.model, self.camera, self.options, &self.admit)
     }
 
     fn items(&self, out: &Self::Out) -> u64 {
@@ -244,6 +280,11 @@ impl<F: FnMut(usize) -> bool> Stage for ProjectStage<'_, F> {
 
 /// Binning stage: splats → depth-sorted CSR tile bins, optionally restricted
 /// to tiles with at least one active mask pixel.
+///
+/// The CSR counting pass and the per-tile depth sorts run on `threads`
+/// workers (per-worker count arrays merge before the prefix sum; sort
+/// segments are disjoint), so the bins are bit-identical for every thread
+/// count.
 pub struct BinStage<'a> {
     /// Splats to bin.
     pub splats: &'a [ProjectedSplat],
@@ -251,6 +292,8 @@ pub struct BinStage<'a> {
     pub grid: TileGridDims,
     /// Optional per-pixel mask (row-major, `width × height`).
     pub mask: Option<&'a [bool]>,
+    /// Worker count for the sharded CSR build (resolved, `>= 1`).
+    pub threads: usize,
 }
 
 impl Stage for BinStage<'_> {
@@ -263,21 +306,26 @@ impl Stage for BinStage<'_> {
 
     fn run(&mut self, _input: ()) -> Self::Out {
         match self.mask {
-            None => TileBins::build(self.splats, self.grid),
+            None => TileBins::build_with_threads(self.splats, self.grid, self.threads),
             Some(mask) => {
                 let g = self.grid;
-                TileBins::build_filtered(self.splats, g, |tx, ty| {
-                    let x_end = ((tx + 1) * g.tile_size).min(g.width);
-                    let y_end = ((ty + 1) * g.tile_size).min(g.height);
-                    for y in (ty * g.tile_size)..y_end {
-                        for x in (tx * g.tile_size)..x_end {
-                            if mask[(y * g.width + x) as usize] {
-                                return true;
+                TileBins::build_filtered_with_threads(
+                    self.splats,
+                    g,
+                    |tx, ty| {
+                        let x_end = ((tx + 1) * g.tile_size).min(g.width);
+                        let y_end = ((ty + 1) * g.tile_size).min(g.height);
+                        for y in (ty * g.tile_size)..y_end {
+                            for x in (tx * g.tile_size)..x_end {
+                                if mask[(y * g.width + x) as usize] {
+                                    return true;
+                                }
                             }
                         }
-                    }
-                    false
-                })
+                        false
+                    },
+                    self.threads,
+                )
             }
         }
     }

@@ -7,7 +7,7 @@
 //! position.
 
 use crate::options::RenderOptions;
-use ms_math::{Conic2, Cov2, Mat3, TileRect, Vec2, Vec3};
+use ms_math::{Conic2, Cov2, Mat3, Mat4, TileRect, Vec2, Vec3};
 use ms_scene::{Camera, GaussianModel};
 use serde::{Deserialize, Serialize};
 
@@ -91,27 +91,46 @@ pub fn project_model(
     project_model_filtered(model, camera, options, |_| true)
 }
 
-/// [`project_model`] with a per-point admission predicate.
-///
-/// Foveated rendering uses the predicate to drop points whose quality bound
-/// excludes them from the active level set before any further work
-/// (the paper's Filtering stage, Fig. 7-E).
-pub fn project_model_filtered<F: FnMut(usize) -> bool>(
+/// Per-frame quantities shared by every point's projection. Computed once
+/// per frame, so the serial and sharded paths run the exact same per-point
+/// arithmetic — the basis of the bit-identical determinism guarantee.
+struct FrameContext {
+    view: Mat4,
+    view_rot: Mat3,
+    focal: Vec2,
+    tan_half_fov: Vec2,
+    tiles_x: u32,
+    tiles_y: u32,
+    sh_degree: usize,
+}
+
+impl FrameContext {
+    fn new(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> Self {
+        let view = camera.view_matrix();
+        Self {
+            view_rot: view.upper_left3(),
+            view,
+            focal: Vec2::new(camera.focal_x(), camera.focal_y()),
+            tan_half_fov: Vec2::new((camera.fovx() * 0.5).tan(), (camera.fovy * 0.5).tan()),
+            tiles_x: camera.width.div_ceil(options.tile_size),
+            tiles_y: camera.height.div_ceil(options.tile_size),
+            sh_degree: options.sh_degree.min(model.sh_degree),
+        }
+    }
+}
+
+/// Project points `range` of `model`, appending surviving splats to `out`
+/// in point-index order.
+fn project_range<F: Fn(usize) -> bool>(
+    ctx: &FrameContext,
     model: &GaussianModel,
     camera: &Camera,
     options: &RenderOptions,
-    mut admit: F,
-) -> Vec<ProjectedSplat> {
-    let view = camera.view_matrix();
-    let view_rot = view.upper_left3();
-    let focal = Vec2::new(camera.focal_x(), camera.focal_y());
-    let tan_half_fov = Vec2::new((camera.fovx() * 0.5).tan(), (camera.fovy * 0.5).tan());
-    let tiles_x = camera.width.div_ceil(options.tile_size);
-    let tiles_y = camera.height.div_ceil(options.tile_size);
-    let sh_degree = options.sh_degree.min(model.sh_degree);
-
-    let mut out = Vec::with_capacity(model.len() / 2);
-    for i in 0..model.len() {
+    range: std::ops::Range<usize>,
+    admit: &F,
+    out: &mut Vec<ProjectedSplat>,
+) {
+    for i in range {
         if !admit(i) {
             continue;
         }
@@ -120,7 +139,7 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
             continue;
         }
         let world_pos = model.positions[i];
-        let view_pos = view.transform_point(world_pos).project();
+        let view_pos = ctx.view.transform_point(world_pos).project();
         let depth = -view_pos.z;
         if depth < camera.near || depth > camera.far {
             continue;
@@ -128,8 +147,8 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
         // Generous frustum cull: the splat's center may sit outside the
         // image while its footprint still overlaps it; the tile-rect test
         // below is the precise one, this just skips far-out points early.
-        if (view_pos.x / depth).abs() > 1.5 * tan_half_fov.x + 1.0
-            || (view_pos.y / depth).abs() > 1.5 * tan_half_fov.y + 1.0
+        if (view_pos.x / depth).abs() > 1.5 * ctx.tan_half_fov.x + 1.0
+            || (view_pos.y / depth).abs() > 1.5 * ctx.tan_half_fov.y + 1.0
         {
             continue;
         }
@@ -139,10 +158,10 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
         let cov2 = project_covariance(
             model.scales[i],
             model.rotations[i],
-            &view_rot,
+            &ctx.view_rot,
             view_pos,
-            focal,
-            tan_half_fov,
+            ctx.focal,
+            ctx.tan_half_fov,
         )
         .dilated(options.dilation);
         let Some(conic) = cov2.to_conic() else {
@@ -153,12 +172,12 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
             continue;
         }
         let Some(tiles) =
-            TileRect::from_circle(center, radius, options.tile_size, tiles_x, tiles_y)
+            TileRect::from_circle(center, radius, options.tile_size, ctx.tiles_x, ctx.tiles_y)
         else {
             continue;
         };
         let view_dir = world_pos - camera.eye;
-        let color = ms_math::sh::eval_color(sh_degree, view_dir, model.sh(i));
+        let color = ms_math::sh::eval_color(ctx.sh_degree, view_dir, model.sh(i));
         out.push(ProjectedSplat {
             point_index: i as u32,
             center,
@@ -170,7 +189,55 @@ pub fn project_model_filtered<F: FnMut(usize) -> bool>(
             tiles,
         });
     }
-    out
+}
+
+/// Below this point count the frame projects serially even when
+/// `options.threads > 1` — per-task queue overhead would exceed the
+/// projection work itself. Sharding never changes the output (shards
+/// concatenate in point order), only the wall time.
+const MIN_POINTS_PER_SHARD: usize = 512;
+
+/// [`project_model`] with a per-point admission predicate.
+///
+/// Foveated rendering uses the predicate to drop points whose quality bound
+/// excludes them from the active level set before any further work
+/// (the paper's Filtering stage, Fig. 7-E).
+///
+/// When `options.threads != 1` the point range is sharded into contiguous
+/// chunks projected on the worker pool; shard outputs concatenate in chunk
+/// order, so splat order stays model order and the result is bit-identical
+/// to the serial path for every thread count.
+pub fn project_model_filtered<F: Fn(usize) -> bool + Sync>(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+    admit: F,
+) -> Vec<ProjectedSplat> {
+    let ctx = FrameContext::new(model, camera, options);
+    let n = model.len();
+    let shards = options
+        .resolved_threads()
+        .min(n / MIN_POINTS_PER_SHARD)
+        .max(1);
+
+    // One contiguous chunk per shard; results come back in shard order and
+    // concatenate, preserving model order exactly. `shards == 1` runs
+    // inline without touching the pool.
+    let parts = crate::par::shard_map(n, shards, |range| {
+        let mut part = Vec::with_capacity(range.len() / 2);
+        project_range(&ctx, model, camera, options, range, &admit, &mut part);
+        part
+    });
+    match parts.len() {
+        1 => parts.into_iter().next().expect("one shard"),
+        _ => {
+            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                out.extend(part);
+            }
+            out
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +361,61 @@ mod tests {
         assert_eq!(splats.len(), 2);
         assert_eq!(splats[0].point_index, 0);
         assert_eq!(splats[1].point_index, 2);
+    }
+
+    /// Deterministic synthetic cloud large enough to trigger sharding
+    /// (well above `MIN_POINTS_PER_SHARD` per worker).
+    fn big_model(n: usize) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        for i in 0..n {
+            let f = i as f32;
+            m.push_solid(
+                Vec3::new(
+                    (f * 0.37).sin() * 2.0,
+                    (f * 0.53).cos() * 1.5,
+                    (f * 0.11).sin() * 2.5,
+                ),
+                Vec3::splat(0.02 + (f * 0.29).sin().abs() * 0.08),
+                Quat::identity(),
+                0.3 + (f * 0.17).cos().abs() * 0.6,
+                Vec3::new(0.2, 0.5, 0.8),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn sharded_projection_is_bit_identical_to_serial() {
+        let m = big_model(3000);
+        let camera = cam();
+        let serial = project_model_filtered(&m, &camera, &RenderOptions::default(), |_| true);
+        assert!(!serial.is_empty());
+        for threads in [2usize, 3, 8, 0] {
+            let opts = RenderOptions {
+                threads,
+                ..RenderOptions::default()
+            };
+            let par = project_model_filtered(&m, &camera, &opts, |_| true);
+            assert_eq!(par, serial, "splats differ at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_projection_respects_filter() {
+        let m = big_model(2048);
+        let camera = cam();
+        let opts = RenderOptions {
+            threads: 4,
+            ..RenderOptions::default()
+        };
+        let par = project_model_filtered(&m, &camera, &opts, |i| i % 3 == 0);
+        let ser = project_model_filtered(&m, &camera, &RenderOptions::default(), |i| i % 3 == 0);
+        assert_eq!(par, ser);
+        assert!(par.iter().all(|s| s.point_index % 3 == 0));
+        // Model order preserved across shard boundaries.
+        for w in par.windows(2) {
+            assert!(w[0].point_index < w[1].point_index);
+        }
     }
 
     #[test]

@@ -71,13 +71,23 @@ impl Renderer {
     }
 
     /// Render with a per-point admission predicate (the foveation Filtering
-    /// stage drops points whose quality bound excludes them).
-    pub fn render_filtered<F: FnMut(usize) -> bool>(
+    /// stage drops points whose quality bound excludes them). The predicate
+    /// is `Fn + Sync` because projection shards evaluate it concurrently
+    /// when `threads != 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image (zero width or height)
+    /// or exceeds `u32` pixel addressing — rejected here, at pipeline
+    /// entry, instead of surfacing as a divide-by-zero or a wrapped pixel
+    /// index deep in the pipeline.
+    pub fn render_filtered<F: Fn(usize) -> bool + Sync>(
         &self,
         model: &GaussianModel,
         camera: &Camera,
         admit: F,
     ) -> RenderOutput {
+        check_camera(camera);
         let mut profiler = Profiler::default();
         let splats = profiler.run(
             &mut ProjectStage {
@@ -98,17 +108,22 @@ impl Renderer {
     ///
     /// # Panics
     ///
-    /// Panics when `mask.len() != width * height`.
-    pub fn render_masked<F: FnMut(usize) -> bool>(
+    /// Panics when `mask.len() != width * height`, or when `camera` has a
+    /// zero-pixel image or exceeds `u32` pixel addressing. The mask-size
+    /// comparison is done in `u64`: at extreme dimensions `width * height`
+    /// overflows `u32`, which used to let a wrong-sized mask slip past the
+    /// check.
+    pub fn render_masked<F: Fn(usize) -> bool + Sync>(
         &self,
         model: &GaussianModel,
         camera: &Camera,
         admit: F,
         mask: &[bool],
     ) -> RenderOutput {
+        check_camera(camera);
         assert_eq!(
-            mask.len(),
-            (camera.width * camera.height) as usize,
+            mask.len() as u64,
+            camera.width as u64 * camera.height as u64,
             "pixel mask size mismatch"
         );
         let mut profiler = Profiler::default();
@@ -127,12 +142,18 @@ impl Renderer {
     /// Rasterize pre-projected splats. Exposed so callers that re-render the
     /// same projection (e.g. the trainer's forward/backward passes) can skip
     /// re-projection; the resulting profile carries no Project sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing.
     pub fn render_splats(
         &self,
         model_len: usize,
         splats: &[ProjectedSplat],
         camera: &Camera,
     ) -> RenderOutput {
+        check_camera(camera);
         self.run_pipeline(model_len, splats, camera, None, Profiler::default())
     }
 
@@ -149,7 +170,15 @@ impl Renderer {
         let grid = TileGridDims::for_image(camera.width, camera.height, self.options.tile_size);
         let track = self.options.track_point_stats;
 
-        let bins = profiler.run(&mut BinStage { splats, grid, mask }, ());
+        let bins = profiler.run(
+            &mut BinStage {
+                splats,
+                grid,
+                mask,
+                threads: self.options.resolved_threads(),
+            },
+            (),
+        );
         let bands = profiler.run(
             &mut RasterStage {
                 splats,
@@ -214,6 +243,27 @@ impl Default for Renderer {
     fn default() -> Self {
         Self::new(RenderOptions::default())
     }
+}
+
+/// Reject degenerate cameras at pipeline entry: a zero-width or zero-height
+/// image would reach the composite stage's `pixels / width` row arithmetic
+/// as a divide-by-zero far from the actual mistake. Images beyond `u32`
+/// pixel addressing are rejected too — per-pixel indices (`y * width + x`)
+/// are computed in `u32` throughout the hot path, so admitting a larger
+/// image would wrap silently instead of failing loudly.
+fn check_camera(camera: &Camera) {
+    assert!(
+        camera.width > 0 && camera.height > 0,
+        "degenerate camera: {}x{} image has no pixels",
+        camera.width,
+        camera.height
+    );
+    assert!(
+        camera.width as u64 * camera.height as u64 <= u32::MAX as u64,
+        "camera {}x{} exceeds u32 pixel addressing",
+        camera.width,
+        camera.height
+    );
 }
 
 /// Rasterize one horizontal band (all tiles in tile row `ty`).
@@ -612,6 +662,54 @@ mod tests {
         let c = only_red.image.pixel(32, 32);
         assert!(c.x > 0.5 && c.y < 0.1);
         assert_eq!(only_red.stats.points_projected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate camera")]
+    fn zero_width_camera_rejected_at_entry() {
+        // Regression: a zero-width camera used to reach CompositeStage's
+        // `pixels / width` as a divide-by-zero.
+        let m = GaussianModel::new(0);
+        let camera = Camera {
+            width: 0,
+            ..cam(64, 64)
+        };
+        let _ = Renderer::default().render(&m, &camera);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate camera")]
+    fn zero_height_camera_rejected_at_entry() {
+        let m = GaussianModel::new(0);
+        let camera = Camera {
+            height: 0,
+            ..cam(64, 64)
+        };
+        let _ = Renderer::default().render_masked(&m, &camera, |_| true, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 pixel addressing")]
+    fn oversized_camera_rejected_at_entry() {
+        // Regression: at 65536×65536 the old mask-size assert computed
+        // width * height in u32, wrapped to 0, and let an empty mask slip
+        // through toward a multi-terabyte render. Such images are now
+        // rejected outright at entry — per-pixel indices are u32
+        // throughout the hot path and would wrap silently.
+        let m = GaussianModel::new(0);
+        let camera = Camera {
+            width: 65536,
+            height: 65536,
+            ..cam(64, 64)
+        };
+        let _ = Renderer::default().render_masked(&m, &camera, |_| true, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel mask size mismatch")]
+    fn wrong_sized_mask_rejected() {
+        let m = GaussianModel::new(0);
+        let _ = Renderer::default().render_masked(&m, &cam(64, 64), |_| true, &[true; 100]);
     }
 
     #[test]

@@ -38,9 +38,11 @@ impl TileGridDims {
         }
     }
 
-    /// Total tile count.
+    /// Total tile count. Computed in `u64`: at extreme image dimensions
+    /// `tiles_x * tiles_y` overflows `u32` before the cast.
     pub fn tile_count(&self) -> usize {
-        (self.tiles_x * self.tiles_y) as usize
+        usize::try_from(self.tiles_x as u64 * self.tiles_y as u64)
+            .expect("tile count overflows usize")
     }
 
     /// Total image pixels (exact, not padded to the tile grid).
@@ -64,7 +66,12 @@ impl TileGridDims {
     /// Tile coordinate of row-major tile index `i`.
     pub fn tile_coords(&self, i: usize) -> (u32, u32) {
         debug_assert!(i < self.tile_count());
-        (i as u32 % self.tiles_x, i as u32 / self.tiles_x)
+        // Divide in usize: `i as u32` truncates once the grid has more
+        // than `u32::MAX` tiles.
+        (
+            (i % self.tiles_x as usize) as u32,
+            (i / self.tiles_x as usize) as u32,
+        )
     }
 }
 
@@ -194,6 +201,21 @@ mod tests {
             })
             .sum();
         assert_eq!(sum, g.pixel_count());
+    }
+
+    #[test]
+    fn tile_count_survives_extreme_dims() {
+        // Regression: `tiles_x * tiles_y` used to multiply in u32 and wrap.
+        // 2^26 × 2^26 image with 16-px tiles → 2^22 × 2^22 tiles = 2^44,
+        // far beyond u32::MAX.
+        let g = TileGridDims::for_image(1 << 26, 1 << 26, 16);
+        assert_eq!((g.tiles_x, g.tiles_y), (1 << 22, 1 << 22));
+        assert_eq!(g.tile_count(), 1usize << 44);
+        assert_eq!(g.pixel_count(), 1u64 << 52);
+        // Coordinates of a tile index above u32::MAX round-trip.
+        let i = (1usize << 40) + 12345;
+        let (tx, ty) = g.tile_coords(i);
+        assert_eq!(ty as usize * (1usize << 22) + tx as usize, i);
     }
 
     #[test]

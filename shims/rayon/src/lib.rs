@@ -1,78 +1,252 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent worker pool.
 //!
 //! The build image cannot reach crates.io, so this shim implements the
 //! subset of rayon's API the workspace uses — [`scope`], [`Scope::spawn`],
-//! [`join`] and [`current_num_threads`] — on top of `std::thread::scope`.
-//! There is no work-stealing pool: each `scope` call runs its spawned tasks
-//! in rounds of OS threads. Callers (the band rasterizer in `ms-render`)
-//! spawn one task per worker and drain a shared queue, so round semantics
-//! and pool semantics coincide where it matters.
+//! [`join`] and [`current_num_threads`] — on top of a lazily-initialized
+//! global pool of long-lived worker threads. The previous revision spawned
+//! a fresh round of OS threads per `scope` call; for small frames that
+//! per-call spawn cost dominated the parallel stages it was supposed to
+//! speed up. Workers are now created once (on the first parallel region)
+//! and reused by every subsequent `scope`/`join`, so steady-state frames
+//! pay only a queue push per task.
+//!
+//! Pool size is `RAYON_NUM_THREADS` when set (like upstream rayon), else
+//! `std::thread::available_parallelism()`.
 //!
 //! Semantics preserved from rayon:
 //! * `scope` returns only after every spawned task (including tasks spawned
 //!   from inside other tasks) has finished;
 //! * a panicking task propagates out of `scope`;
-//! * tasks may borrow from the enclosing stack frame (`'env` lifetime).
+//! * tasks may borrow from the enclosing stack frame (`'env` lifetime);
+//! * the thread calling `scope` participates in executing queued tasks
+//!   while it waits ("caller helps"), so nested scopes cannot deadlock the
+//!   pool even when every worker is blocked inside an outer scope.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+// ---------------------------------------------------------------------------
+// The global pool
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased task. Safety invariant: the `scope` call whose stack
+/// frame the task borrows from does not return until the task has run (the
+/// scope waits on its pending counter), so the erased `'env` references
+/// stay valid for the task's whole execution.
+struct Job(Box<dyn FnOnce() + Send + 'static>);
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is pushed; workers block here when idle.
+    jobs_cv: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        self.jobs_cv.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                match q.pop_front() {
+                    Some(job) => break job,
+                    None => q = pool.jobs_cv.wait(q).expect("pool queue poisoned"),
+                }
+            }
+        };
+        // Jobs catch their own panics (see `Scope::spawn`), so a panicking
+        // task cannot take a long-lived worker down with it.
+        (job.0)();
+    }
+}
+
+fn pool_size_from_env() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The process-wide worker pool, created on first use.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = pool_size_from_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// Shared accounting for one `scope` call: outstanding task count plus the
+/// first panic payload (rayon also propagates one of possibly many).
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done_cv: Condvar,
+}
+
+struct ScopeSync {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        Self {
+            sync: Mutex::new(ScopeSync {
+                pending: 0,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.sync.lock().expect("scope poisoned").pending += 1;
+    }
+
+    fn finish_task(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut sync = self.sync.lock().expect("scope poisoned");
+        if let Some(p) = panic {
+            sync.panic.get_or_insert(p);
+        }
+        sync.pending -= 1;
+        if sync.pending == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Block until every task of this scope has finished, running queued
+    /// pool jobs (from any scope) in the meantime. The bounded wait below
+    /// re-polls the queue so a job pushed between the pop attempt and the
+    /// wait cannot strand the caller.
+    fn wait_all(&self, pool: &Pool) {
+        loop {
+            if self.sync.lock().expect("scope poisoned").pending == 0 {
+                return;
+            }
+            match pool.try_pop() {
+                Some(job) => (job.0)(),
+                None => {
+                    let sync = self.sync.lock().expect("scope poisoned");
+                    if sync.pending == 0 {
+                        return;
+                    }
+                    let _ = self
+                        .done_cv
+                        .wait_timeout(sync, Duration::from_micros(200))
+                        .expect("scope poisoned");
+                }
+            }
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.sync.lock().expect("scope poisoned").panic.take()
+    }
+}
 
 /// A scope in which tasks can be spawned (mirrors `rayon::Scope`).
 pub struct Scope<'env> {
-    jobs: Mutex<Vec<Job<'env>>>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like rayon's scope.
+    _marker: PhantomData<&'env mut &'env ()>,
 }
 
 impl<'env> Scope<'env> {
-    /// Queue `body` to run before the enclosing [`scope`] call returns.
+    /// Queue `body` on the worker pool; it runs before the enclosing
+    /// [`scope`] call returns.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(&Scope<'env>) + Send + 'env,
     {
-        self.jobs
-            .lock()
-            .expect("scope poisoned")
-            .push(Box::new(body));
-    }
-
-    fn take_jobs(&self) -> Vec<Job<'env>> {
-        std::mem::take(&mut *self.jobs.lock().expect("scope poisoned"))
+        self.state.add_task();
+        let state = Arc::clone(&self.state);
+        // The task needs `&Scope<'env>` (for nested spawns). The scope
+        // lives on the stack of the `scope` call, which outlives every
+        // task, so smuggling the address through a usize is sound.
+        let scope_addr = self as *const Scope<'env> as usize;
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // SAFETY: `scope` does not return before `pending` drops to
+            // zero, which happens strictly after this closure finishes, so
+            // the `Scope` (and everything `body` borrows from the caller's
+            // frame) is still alive here.
+            let scope = unsafe { &*(scope_addr as *const Scope<'env>) };
+            let result = catch_unwind(AssertUnwindSafe(|| body(scope)));
+            state.finish_task(result.err());
+        });
+        // SAFETY: lifetime erasure to hand the job to long-lived workers.
+        // The `'env` data it captures outlives its execution because the
+        // owning `scope` call blocks until the task completes (see above).
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        pool().push(Job(job));
     }
 }
 
 /// Create a scope, run `op` in it, then run every spawned task to
 /// completion before returning (mirrors `rayon::scope`).
+///
+/// Tasks execute on the persistent worker pool; the calling thread helps
+/// drain the queue while it waits. A panic in `op` or in any task
+/// propagates out of `scope`, but only after every spawned task has
+/// finished — tasks may borrow from the caller's stack frame, so the frame
+/// must stay intact until they are done.
 pub fn scope<'env, OP, R>(op: OP) -> R
 where
     OP: FnOnce(&Scope<'env>) -> R,
 {
     let s = Scope {
-        jobs: Mutex::new(Vec::new()),
+        state: Arc::new(ScopeState::new()),
+        _marker: PhantomData,
     };
-    let result = op(&s);
-    loop {
-        let jobs = s.take_jobs();
-        if jobs.is_empty() {
-            break;
-        }
-        let sref = &s;
-        std::thread::scope(|ts| {
-            let mut handles = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                handles.push(ts.spawn(move || job(sref)));
-            }
-            for h in handles {
-                if let Err(panic) = h.join() {
-                    std::panic::resume_unwind(panic);
-                }
-            }
-        });
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    s.state.wait_all(pool());
+    if let Some(panic) = s.state.take_panic() {
+        resume_unwind(panic);
     }
-    result
+    match result {
+        Ok(r) => r,
+        Err(panic) => resume_unwind(panic),
+    }
 }
 
 /// Run two closures, potentially in parallel, and return both results
-/// (mirrors `rayon::join`).
+/// (mirrors `rayon::join`). `b` runs on the pool while the calling thread
+/// runs `a`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -80,28 +254,24 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|ts| {
-        let hb = ts.spawn(b);
-        let ra = a();
-        let rb = match hb.join() {
-            Ok(rb) => rb,
-            Err(panic) => std::panic::resume_unwind(panic),
-        };
-        (ra, rb)
-    })
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join: second closure did not run"))
 }
 
 /// Number of threads a parallel region will use (mirrors
 /// `rayon::current_num_threads`).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool().workers.max(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -156,5 +326,144 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn task_panic_propagates_out_of_scope() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        }));
+        let payload = caught.expect_err("scope should propagate the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "task boom");
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_pool() {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| s.spawn(|_| panic!("first")));
+        }));
+        // The pool must still execute work after a task panicked.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn sibling_tasks_finish_even_when_one_panics() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let _ = catch_unwind(AssertUnwindSafe(move || {
+            scope(|s| {
+                for i in 0..8 {
+                    let c = Arc::clone(&c2);
+                    s.spawn(move |_| {
+                        if i == 3 {
+                            panic!("middle task");
+                        }
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn workers_are_reused_across_scopes() {
+        // 100 scopes × 4 tasks. The per-scope-spawn implementation this
+        // replaced created a fresh unnamed OS thread per task (ThreadIds
+        // are never reused), so it would log ~400 distinct unnamed
+        // threads. The pool runs every task either on a named
+        // "rayon-shim-*" worker or on a thread that is helping while
+        // blocked in its own `scope` call. The generous slack on the
+        // unnamed bound tolerates helpers from concurrently running tests
+        // that enter `scope` from unnamed threads.
+        let seen = Mutex::new(HashSet::new());
+        for _ in 0..100 {
+            scope(|s| {
+                for _ in 0..4 {
+                    let seen = &seen;
+                    s.spawn(move |_| {
+                        let t = std::thread::current();
+                        seen.lock()
+                            .unwrap()
+                            .insert((t.id(), t.name().map(String::from)));
+                    });
+                }
+            });
+        }
+        let seen = seen.into_inner().unwrap();
+        let shim_workers = seen
+            .iter()
+            .filter(|(_, n)| n.as_deref().is_some_and(|n| n.starts_with("rayon-shim-")))
+            .count();
+        assert!(
+            shim_workers <= current_num_threads(),
+            "{shim_workers} distinct pool workers seen, pool has {}",
+            current_num_threads()
+        );
+        let unnamed = seen.iter().filter(|(_, n)| n.is_none()).count();
+        assert!(
+            unnamed <= 50,
+            "{unnamed} distinct unnamed threads ran tasks — looks like \
+             per-scope thread spawning is back"
+        );
+    }
+
+    #[test]
+    fn many_scopes_from_many_threads() {
+        // Stress cross-scope interleaving on the shared pool.
+        std::thread::scope(|ts| {
+            for _ in 0..4 {
+                ts.spawn(|| {
+                    for _ in 0..50 {
+                        let counter = AtomicUsize::new(0);
+                        scope(|s| {
+                            for _ in 0..8 {
+                                let counter = &counter;
+                                s.spawn(move |_| {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        assert_eq!(counter.load(Ordering::Relaxed), 8);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn deeply_nested_scopes_do_not_deadlock() {
+        // Every worker may be blocked inside an outer scope; the caller-
+        // helps rule must still guarantee progress.
+        fn nest(depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let total = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..2 {
+                    let total = &total;
+                    s.spawn(move |_| {
+                        total.fetch_add(nest(depth - 1), Ordering::Relaxed);
+                    });
+                }
+            });
+            total.load(Ordering::Relaxed)
+        }
+        assert_eq!(nest(4), 16);
     }
 }

@@ -1,11 +1,15 @@
-//! Determinism of the band-parallel Raster stage: a frame rendered with
-//! `threads = 1` (the serial reference) must be *bit-identical* — pixels
-//! and winner buffers — to the same frame rendered with any other worker
-//! count, including auto (`threads = 0`).
+//! Determinism of the parallel pipeline stages (Project, Bin and Raster):
+//! a frame rendered with `threads = 1` (the serial reference) must be
+//! *bit-identical* — pixels, winner buffers and `FrameProfile` work
+//! counters — to the same frame rendered with any other worker count,
+//! including auto (`threads = 0`), on both plain and masked renders.
 
-use metasapiens::render::{RenderOptions, Renderer, StageKind};
+use metasapiens::render::{RenderOptions, RenderOutput, Renderer, StageKind};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
+
+/// Worker counts the suite compares against the serial reference.
+const THREAD_COUNTS: [usize; 4] = [2, 3, 8, 0];
 
 fn scene() -> metasapiens::scene::synth::Scene {
     TraceId::by_name("kitchen")
@@ -29,25 +33,42 @@ fn opts(threads: usize) -> RenderOptions {
     }
 }
 
+/// Assert `par` is the same frame as `serial`, bit for bit: pixels, winner
+/// buffers, headline stats, and the per-stage `FrameProfile` work counters
+/// (profile equality already ignores wall times, which legitimately vary).
+fn assert_bit_identical(par: &RenderOutput, serial: &RenderOutput, threads: usize) {
+    assert_eq!(
+        par.image, serial.image,
+        "pixels differ at threads={threads}"
+    );
+    assert_eq!(
+        par.winners, serial.winners,
+        "winners differ at threads={threads}"
+    );
+    assert_eq!(par.stats, serial.stats, "stats differ at threads={threads}");
+    for kind in [
+        StageKind::Project,
+        StageKind::Bin,
+        StageKind::Raster,
+        StageKind::Composite,
+    ] {
+        assert_eq!(
+            par.stats.profile.items(kind),
+            serial.stats.profile.items(kind),
+            "{} work counter differs at threads={threads}",
+            kind.name()
+        );
+    }
+}
+
 #[test]
 fn parallel_render_is_bit_identical_to_serial() {
     let s = scene();
     let cam = camera(&s);
     let serial = Renderer::new(opts(1)).render(&s.model, &cam);
-    for threads in [2usize, 3, 4, 8, 0] {
+    for threads in THREAD_COUNTS {
         let par = Renderer::new(opts(threads)).render(&s.model, &cam);
-        // Bit-exact pixels: Image equality is exact f32 comparison.
-        assert_eq!(
-            par.image, serial.image,
-            "pixels differ at threads={threads}"
-        );
-        // Identical winner buffers, pixel for pixel.
-        assert_eq!(
-            par.winners, serial.winners,
-            "winners differ at threads={threads}"
-        );
-        // And the measured workload is the same frame.
-        assert_eq!(par.stats, serial.stats, "stats differ at threads={threads}");
+        assert_bit_identical(&par, &serial, threads);
     }
 }
 
@@ -63,10 +84,25 @@ fn masked_parallel_render_is_bit_identical_to_serial() {
         })
         .collect();
     let serial = Renderer::new(opts(1)).render_masked(&s.model, &cam, |_| true, &mask);
-    let par = Renderer::new(opts(4)).render_masked(&s.model, &cam, |_| true, &mask);
-    assert_eq!(par.image, serial.image);
-    assert_eq!(par.winners, serial.winners);
-    assert_eq!(par.stats, serial.stats);
+    for threads in THREAD_COUNTS {
+        let par = Renderer::new(opts(threads)).render_masked(&s.model, &cam, |_| true, &mask);
+        assert_bit_identical(&par, &serial, threads);
+    }
+}
+
+#[test]
+fn filtered_parallel_render_is_bit_identical_to_serial() {
+    // The admission predicate is evaluated concurrently by projection
+    // shards; sharding must not change which points are admitted or their
+    // order.
+    let s = scene();
+    let cam = camera(&s);
+    let admit = |i: usize| i % 3 != 1;
+    let serial = Renderer::new(opts(1)).render_filtered(&s.model, &cam, admit);
+    for threads in THREAD_COUNTS {
+        let par = Renderer::new(opts(threads)).render_filtered(&s.model, &cam, admit);
+        assert_bit_identical(&par, &serial, threads);
+    }
 }
 
 #[test]
