@@ -96,7 +96,7 @@ impl AccelConfig {
 
     /// GSCore's resource balance: 2× the sorting units, 4× fewer VRCs, no
     /// TM/IP (§7.5: "our baseline hardware has 4× more Volume Rendering
-    /// Cores compared to that of GSCore with 2× fewer sorting unit[s]").
+    /// Cores compared to that of GSCore with 2× fewer sorting unit\[s\]").
     pub fn gscore() -> Self {
         Self {
             name: "GSCore".into(),

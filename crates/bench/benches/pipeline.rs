@@ -128,6 +128,7 @@ fn bench_render_thread_scaling(c: &mut Criterion) {
     let stages = [
         StageKind::Project,
         StageKind::Bin,
+        StageKind::Merge,
         StageKind::Raster,
         StageKind::Composite,
     ];

@@ -1,6 +1,8 @@
 //! Fig. 9: workload imbalance of the foveated model — (a) ASCII heatmap of
 //! per-tile intersections for `bicycle`, (b) per-trace boxplots over the
-//! Mip-NeRF-360 traces.
+//! Mip-NeRF-360 traces, (c) pre- vs post-merge imbalance of the §4.3
+//! occupancy-driven tile merge (max/mean intersections per raster work
+//! unit, raw tiles vs merged super-tiles).
 
 use metasapiens::fov::FoveatedRenderer;
 use metasapiens::pipeline::{build_system, BuildConfig, Variant};
@@ -22,10 +24,25 @@ fn ascii_heatmap(counts: &[u32], tiles_x: u32, tiles_y: u32) {
     }
 }
 
+/// Max/mean over a work-unit intersection list (1.0 for empty/zero lists).
+fn unit_ratio(units: &[u32]) -> f64 {
+    let total: u64 = units.iter().map(|&u| u as u64).sum();
+    if units.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / units.len() as f64;
+    units.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
 fn main() {
     let config = ExperimentConfig::from_env();
     println!("== Fig. 9: per-tile intersection imbalance of the FR model ==\n");
-    let fr_renderer = FoveatedRenderer::new(RenderOptions::default());
+    // One render per trace serves all three parts: merging changes only the
+    // raster work-unit list — pixels, per-tile counts and the imbalance
+    // ratio are bit-identical to the unmerged pipeline (the determinism
+    // suite enforces this), so (a)/(b) read the same numbers an unmerged
+    // render would produce.
+    let merged_renderer = FoveatedRenderer::new(RenderOptions::with_tile_merging());
 
     // Fig. 9b traces (Mip-NeRF 360 subset the paper plots).
     let fig9b: Vec<TraceId> = ["flowers", "treehill", "stump", "garden", "bicycle"]
@@ -34,10 +51,11 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
+    let mut merge_rows = Vec::new();
     for trace in fig9b {
         let loaded = load_trace(trace, &config);
         let system = build_system(&loaded.scene, &BuildConfig::fast_for_tests(Variant::H));
-        let out = fr_renderer.render(&system.fov, &loaded.cameras[0], None);
+        let out = merged_renderer.render(&system.fov, &loaded.cameras[0], None);
         let samples = out.stats.tile_intersections_f32();
         if trace.name == "bicycle" {
             println!(
@@ -56,6 +74,30 @@ fn main() {
         let mut row = boxplot_row(trace.name, &samples);
         row.push(format!("{:.0}x", out.stats.imbalance_ratio()));
         rows.push(row);
+
+        // (c) pre vs post merge, on the same per-level work-unit basis: a
+        // raw work unit is one (level, tile) pair, a merged one is one
+        // (level, super-tile) pair — each quality level rasterizes under
+        // its own schedule over its own bins.
+        let pre: Vec<u32> = out
+            .per_level_stats
+            .iter()
+            .flat_map(|s| s.tile_intersections.iter().copied())
+            .collect();
+        let post: Vec<u32> = out
+            .per_level_stats
+            .iter()
+            .flat_map(|s| s.unit_intersections())
+            .collect();
+        let (r_pre, r_post) = (unit_ratio(&pre), unit_ratio(&post));
+        merge_rows.push(vec![
+            trace.name.to_string(),
+            format!("{}", pre.len()),
+            format!("{}", post.len()),
+            format!("{:.1}x", r_pre),
+            format!("{:.1}x", r_post),
+            if r_post < r_pre { "yes" } else { "NO" }.to_string(),
+        ]);
     }
     println!("(b) per-tile intersection distribution:");
     print_table(
@@ -64,6 +106,20 @@ fn main() {
         ],
         &rows,
     );
+    println!("\n(c) §4.3 occupancy-driven tile merging (threshold 0.5×mean, 4×4 cap):");
+    print_table(
+        &[
+            "trace",
+            "units pre",
+            "units post",
+            "max/mean pre",
+            "max/mean post",
+            "improved",
+        ],
+        &merge_rows,
+    );
     println!("\npaper shape: work concentrates at the gaze; spread of 2-3 orders of");
     println!("magnitude between peripheral and central tiles across all traces.");
+    println!("merging coalesces sparse peripheral tiles into super-tiles, so the");
+    println!("max/mean per *work unit* drops strictly while pixels stay bit-identical.");
 }

@@ -1,4 +1,5 @@
-//! Sorting stage: per-tile splat lists ordered front-to-back.
+//! Sorting stage: per-tile splat lists ordered front-to-back, plus the
+//! occupancy-driven tile-merge plan built over them.
 //!
 //! Bins are stored in a flat CSR (compressed sparse row) layout — one
 //! `Vec<u32>` of splat indices plus one `Vec<u32>` of per-tile offsets —
@@ -9,6 +10,12 @@
 //! drive the paper's workload analysis (and the accelerator simulator) are
 //! the offset deltas — the renderer and the simulator share them by
 //! construction.
+//!
+//! [`MergedTileSchedule`] is the Merge stage's output (the paper's §4.3):
+//! a partition of the tile grid into rectangular [`SuperTile`] work units,
+//! built directly over the CSR offsets so low-occupancy tiles coalesce
+//! before they reach the rasterizer's scheduler. `ARCHITECTURE.md` at the
+//! repository root documents the full layout and merge contract.
 
 use crate::projection::ProjectedSplat;
 use crate::stats::TileGridDims;
@@ -319,6 +326,240 @@ impl TileBins {
     }
 }
 
+/// One raster work unit: an axis-aligned rectangle of tiles,
+/// `[tx0, tx1) × [ty0, ty1)` in tile coordinates.
+///
+/// A single tile is the degenerate `1 × 1` rectangle; a band (the PR 3/4
+/// work unit) is `[0, tiles_x) × [ty, ty + 1)`. Rasterizing a super-tile
+/// still composites every pixel against *its own tile's* CSR list — the
+/// rectangle only groups tiles into one scheduling slot, so regrouping can
+/// never change a pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperTile {
+    /// First tile column (inclusive).
+    pub tx0: u32,
+    /// First tile row (inclusive).
+    pub ty0: u32,
+    /// Past-the-end tile column (exclusive).
+    pub tx1: u32,
+    /// Past-the-end tile row (exclusive).
+    pub ty1: u32,
+}
+
+impl SuperTile {
+    /// Number of tiles covered by the rectangle.
+    pub fn tile_count(&self) -> usize {
+        (self.tx1 - self.tx0) as usize * (self.ty1 - self.ty0) as usize
+    }
+
+    /// Whether the rectangle covers tile `(tx, ty)`.
+    pub fn contains(&self, tx: u32, ty: u32) -> bool {
+        (self.tx0..self.tx1).contains(&tx) && (self.ty0..self.ty1).contains(&ty)
+    }
+
+    /// Tiles of the rectangle in row-major order.
+    pub fn tiles(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (self.ty0..self.ty1).flat_map(move |ty| (self.tx0..self.tx1).map(move |tx| (tx, ty)))
+    }
+}
+
+/// The Merge stage's output: an ordered partition of the tile grid into
+/// [`SuperTile`] work units — the list the band-parallel rasterizer pulls
+/// from instead of raw tiles or whole bands.
+///
+/// Invariants (checked by the partition property test):
+///
+/// * every tile of the grid belongs to **exactly one** unit, so every
+///   splat-tile intersection lands in exactly one super-tile;
+/// * units are emitted in row-major scan order of their anchor tile, so the
+///   schedule is deterministic for a given `TileBins` regardless of thread
+///   count (the plan is built serially — it is a single O(tiles) scan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedTileSchedule {
+    grid: TileGridDims,
+    units: Vec<SuperTile>,
+    merged_tiles: usize,
+}
+
+impl MergedTileSchedule {
+    /// The identity schedule used when merging is disabled: one unit per
+    /// tile row (the PR 3/4 "band" work unit), preserving the unmerged
+    /// pipeline's scheduling granularity exactly.
+    pub fn bands(grid: TileGridDims) -> Self {
+        let units = (0..grid.tiles_y)
+            .map(|ty| SuperTile {
+                tx0: 0,
+                ty0: ty,
+                tx1: grid.tiles_x,
+                ty1: ty + 1,
+            })
+            .collect();
+        Self {
+            grid,
+            units,
+            merged_tiles: 0,
+        }
+    }
+
+    /// Build the occupancy-driven merge plan of the paper's §4.3 over the
+    /// CSR offsets.
+    ///
+    /// A tile is *mergeable* when its intersection count is below
+    /// `threshold × mean` occupancy (empty tiles always are). The scan
+    /// walks tiles row-major; at each unclaimed mergeable tile it greedily
+    /// grows a rectangle — first rightward, then row by row downward —
+    /// absorbing only unclaimed mergeable tiles, bounded by `max_extent`
+    /// tiles per side *and* by the mean occupancy: growth stops before the
+    /// unit's cumulative count would exceed the grid mean. Dense tiles
+    /// become singleton units. The cumulative cap gives the balance
+    /// guarantee behind the fig09 claim: every multi-tile unit carries at
+    /// most `mean` intersections, so the schedule's maximum stays the
+    /// densest tile while the unit count strictly drops whenever anything
+    /// merges — max/mean per work unit can only improve.
+    pub fn merge_low_occupancy(bins: &TileBins, threshold: f32, max_extent: u32) -> Self {
+        assert!(max_extent >= 1, "merge_max_extent must be >= 1");
+        let grid = bins.grid();
+        let (tiles_x, tiles_y) = (grid.tiles_x, grid.tiles_y);
+        let tile_count = grid.tile_count();
+        let offsets = bins.offsets();
+        let count = |tx: u32, ty: u32| -> u64 {
+            let i = ty as usize * tiles_x as usize + tx as usize;
+            (offsets[i + 1] - offsets[i]) as u64
+        };
+        let mean = bins.total_intersections() as f64 / tile_count.max(1) as f64;
+        let low = threshold as f64 * mean;
+        let mergeable = |tx: u32, ty: u32| {
+            let c = count(tx, ty);
+            c == 0 || (c as f64) < low
+        };
+
+        let mut taken = vec![false; tile_count];
+        let mut units = Vec::new();
+        let mut merged_tiles = 0usize;
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let anchor = ty as usize * tiles_x as usize + tx as usize;
+                if taken[anchor] {
+                    continue;
+                }
+                if !mergeable(tx, ty) {
+                    taken[anchor] = true;
+                    units.push(SuperTile {
+                        tx0: tx,
+                        ty0: ty,
+                        tx1: tx + 1,
+                        ty1: ty + 1,
+                    });
+                    continue;
+                }
+                // Grow rightward while the row stays mergeable and the
+                // cumulative count stays under the mean.
+                let mut sum = count(tx, ty);
+                let mut w = 1u32;
+                while tx + w < tiles_x && w < max_extent {
+                    let nx = tx + w;
+                    if taken[ty as usize * tiles_x as usize + nx as usize]
+                        || !mergeable(nx, ty)
+                        || (sum + count(nx, ty)) as f64 > mean
+                    {
+                        break;
+                    }
+                    sum += count(nx, ty);
+                    w += 1;
+                }
+                // Grow downward a full row at a time: a row joins only if
+                // every tile under the rectangle is unclaimed and mergeable.
+                let mut h = 1u32;
+                'rows: while ty + h < tiles_y && h < max_extent {
+                    let ny = ty + h;
+                    let mut row_sum = 0u64;
+                    for x in tx..tx + w {
+                        if taken[ny as usize * tiles_x as usize + x as usize] || !mergeable(x, ny) {
+                            break 'rows;
+                        }
+                        row_sum += count(x, ny);
+                    }
+                    if (sum + row_sum) as f64 > mean {
+                        break;
+                    }
+                    sum += row_sum;
+                    h += 1;
+                }
+                for y in ty..ty + h {
+                    for x in tx..tx + w {
+                        taken[y as usize * tiles_x as usize + x as usize] = true;
+                    }
+                }
+                if w * h > 1 {
+                    merged_tiles += (w * h) as usize;
+                }
+                units.push(SuperTile {
+                    tx0: tx,
+                    ty0: ty,
+                    tx1: tx + w,
+                    ty1: ty + h,
+                });
+            }
+        }
+        Self {
+            grid,
+            units,
+            merged_tiles,
+        }
+    }
+
+    /// Tile-grid geometry the schedule partitions.
+    #[inline]
+    pub fn grid(&self) -> TileGridDims {
+        self.grid
+    }
+
+    /// The work units, in deterministic scan order.
+    #[inline]
+    pub fn units(&self) -> &[SuperTile] {
+        &self.units
+    }
+
+    /// Tiles absorbed into multi-tile units (0 for the band schedule, which
+    /// reflects scheduling granularity rather than occupancy merging).
+    #[inline]
+    pub fn merged_tiles(&self) -> usize {
+        self.merged_tiles
+    }
+
+    /// Row-major map from tile index to the id (schedule position) of the
+    /// unit owning it — the `RenderStats::tile_unit` counter the accelerator
+    /// simulator regroups its slots by.
+    pub fn tile_unit_map(&self) -> Vec<u32> {
+        let mut map = vec![u32::MAX; self.grid.tile_count()];
+        for (u, unit) in self.units.iter().enumerate() {
+            let id = u32::try_from(u).expect("work-unit id overflows u32");
+            for (tx, ty) in unit.tiles() {
+                map[ty as usize * self.grid.tiles_x as usize + tx as usize] = id;
+            }
+        }
+        map
+    }
+
+    /// Per-unit intersection counts, summed from the CSR offsets of the
+    /// bins the schedule was built over.
+    pub fn unit_intersections(&self, bins: &TileBins) -> Vec<u32> {
+        let offsets = bins.offsets();
+        let tiles_x = self.grid.tiles_x as usize;
+        self.units
+            .iter()
+            .map(|unit| {
+                unit.tiles()
+                    .map(|(tx, ty)| {
+                        let i = ty as usize * tiles_x + tx as usize;
+                        offsets[i + 1] - offsets[i]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +761,176 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, g.tile_count());
+    }
+
+    /// Max/mean ratio of a work-unit count list (1.0 when empty/zero).
+    fn ratio(counts: &[u32]) -> f64 {
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        if counts.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / counts.len() as f64;
+        counts.iter().copied().max().unwrap() as f64 / mean
+    }
+
+    /// Assert `schedule` partitions `g`: every tile in exactly one unit.
+    fn assert_partition(schedule: &MergedTileSchedule, g: TileGridDims) {
+        let mut covered = vec![0u32; g.tile_count()];
+        for unit in schedule.units() {
+            assert!(unit.tx0 < unit.tx1 && unit.ty0 < unit.ty1, "empty unit");
+            assert!(
+                unit.tx1 <= g.tiles_x && unit.ty1 <= g.tiles_y,
+                "unit out of grid"
+            );
+            for (tx, ty) in unit.tiles() {
+                covered[(ty * g.tiles_x + tx) as usize] += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "schedule must cover every tile exactly once"
+        );
+    }
+
+    #[test]
+    fn band_schedule_is_one_unit_per_row() {
+        let g = grid();
+        let s = MergedTileSchedule::bands(g);
+        assert_eq!(s.units().len(), g.tiles_y as usize);
+        assert_eq!(s.merged_tiles(), 0);
+        assert_partition(&s, g);
+        // Band i owns exactly tile row i.
+        let map = s.tile_unit_map();
+        for (i, &u) in map.iter().enumerate() {
+            assert_eq!(u as usize, i / g.tiles_x as usize);
+        }
+    }
+
+    #[test]
+    fn merge_plan_partitions_random_splat_sets() {
+        // Property: for random splat sets, thresholds and extents, every
+        // tile — and therefore every splat-tile intersection — lands in
+        // exactly one super-tile, and the per-unit counts conserve the
+        // total intersection count.
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(4242);
+        for round in 0..40 {
+            let n = rng.gen_range(0usize..600);
+            let splats = random_splats(&mut rng, n, g);
+            let bins = TileBins::build(&splats, g);
+            let threshold = rng.gen_range(0.05..1.5f32);
+            let max_extent = rng.gen_range(1u32..6);
+            let s = MergedTileSchedule::merge_low_occupancy(&bins, threshold, max_extent);
+            assert_partition(&s, g);
+            let units = s.unit_intersections(&bins);
+            assert_eq!(units.len(), s.units().len());
+            assert_eq!(
+                units.iter().map(|&c| c as u64).sum::<u64>(),
+                bins.total_intersections(),
+                "round {round}: merged units must conserve intersections"
+            );
+            // Extent cap respected.
+            for unit in s.units() {
+                assert!(unit.tx1 - unit.tx0 <= max_extent);
+                assert!(unit.ty1 - unit.ty0 <= max_extent);
+            }
+            // The unit map agrees with the unit list.
+            let map = s.tile_unit_map();
+            for (u, unit) in s.units().iter().enumerate() {
+                for (tx, ty) in unit.tiles() {
+                    assert_eq!(map[(ty * g.tiles_x + tx) as usize] as usize, u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merging_strictly_lowers_imbalance_on_sparse_periphery() {
+        // A foveal workload in miniature: dense center tiles, empty
+        // periphery. Merging must strictly lower max/mean per work unit.
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(9);
+        let splats: Vec<ProjectedSplat> = (0..3000)
+            .filter_map(|i| {
+                use ms_math::{Conic2, TileRect, Vec2};
+                let cx = 64.0 + rng.gen_range(-12.0..12.0f32);
+                let cy = 64.0 + rng.gen_range(-12.0..12.0f32);
+                let tiles = TileRect::from_circle(
+                    Vec2::new(cx, cy),
+                    2.0,
+                    g.tile_size,
+                    g.tiles_x,
+                    g.tiles_y,
+                )?;
+                Some(ProjectedSplat {
+                    point_index: i as u32,
+                    center: Vec2::new(cx, cy),
+                    conic: Conic2 {
+                        a: 1.0,
+                        b: 0.0,
+                        c: 1.0,
+                    },
+                    depth: 1.0,
+                    radius: 2.0,
+                    color: ms_math::Vec3::splat(0.5),
+                    opacity: 0.9,
+                    tiles,
+                })
+            })
+            .collect();
+        let bins = TileBins::build(&splats, g);
+        let s = MergedTileSchedule::merge_low_occupancy(&bins, 0.5, 4);
+        let pre = ratio(&bins.intersection_counts());
+        let post = ratio(&s.unit_intersections(&bins));
+        assert!(
+            s.units().len() < g.tile_count(),
+            "sparse periphery must merge"
+        );
+        assert!(s.merged_tiles() > 0);
+        assert!(
+            post < pre,
+            "merging must strictly lower imbalance: pre {pre} post {post}"
+        );
+        // The densest unit is still the densest tile — multi-tile units are
+        // capped at the mean occupancy.
+        assert_eq!(
+            s.unit_intersections(&bins).iter().max(),
+            bins.intersection_counts().iter().max()
+        );
+    }
+
+    #[test]
+    fn merge_plan_is_deterministic() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(5151);
+        let splats = random_splats(&mut rng, 800, g);
+        let bins = TileBins::build(&splats, g);
+        let a = MergedTileSchedule::merge_low_occupancy(&bins, 0.5, 4);
+        let b = MergedTileSchedule::merge_low_occupancy(&bins, 0.5, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_frame_merges_into_extent_capped_blocks() {
+        let g = grid(); // 8×8 tiles
+        let bins = TileBins::build(&[], g);
+        let s = MergedTileSchedule::merge_low_occupancy(&bins, 0.5, 4);
+        assert_partition(&s, g);
+        // 8×8 empty tiles with a 4-tile cap → four 4×4 super-tiles.
+        assert_eq!(s.units().len(), 4);
+        assert!(s.units().iter().all(|u| u.tile_count() == 16));
+    }
+
+    #[test]
+    fn extent_one_never_merges() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(31);
+        let splats = random_splats(&mut rng, 300, g);
+        let bins = TileBins::build(&splats, g);
+        let s = MergedTileSchedule::merge_low_occupancy(&bins, 0.9, 1);
+        assert_eq!(s.units().len(), g.tile_count());
+        assert_eq!(s.merged_tiles(), 0);
+        assert_partition(&s, g);
     }
 
     #[test]

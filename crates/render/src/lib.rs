@@ -11,7 +11,10 @@
 //!    sort each list front-to-back by depth (or per-pixel for the
 //!    StopThePop-style mode).
 //! 3. **Rasterization** ([`Renderer::render`]): per-pixel alpha compositing
-//!    of Eqn. 1 with transmittance early-stop.
+//!    of Eqn. 1 with transmittance early-stop, scheduled over the
+//!    work-unit list of the §4.3 tile-merge pass ([`MergedTileSchedule`]) —
+//!    adjacent low-occupancy tiles coalesce into super-tiles when
+//!    [`RenderOptions::merge_threshold`] is set.
 //!
 //! The renderer doubles as the measurement instrument for the paper's
 //! analysis: [`RenderStats`] exposes per-tile intersection counts (the
@@ -45,7 +48,7 @@ mod projection;
 mod raster;
 mod stats;
 
-pub use binning::TileBins;
+pub use binning::{MergedTileSchedule, SuperTile, TileBins};
 pub use image::Image;
 pub use options::{RenderOptions, SortMode};
 pub use pipeline::{FrameProfile, Profiler, Stage, StageKind, StageSample};

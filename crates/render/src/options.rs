@@ -51,9 +51,22 @@ pub struct RenderOptions {
     /// determinism reference), `0` uses all available cores, `n > 1` uses
     /// exactly `n` workers from the persistent pool. Output is bit-identical
     /// for every value — projection shards concatenate in point order, CSR
-    /// count arrays merge before the prefix sum, and raster bands are
+    /// count arrays merge before the prefix sum, and raster work units are
     /// assembled in index order.
     pub threads: usize,
+    /// Occupancy-driven tile merging (the paper's §4.3): tiles whose
+    /// intersection count falls below `merge_threshold × mean` tile
+    /// occupancy are greedily coalesced with adjacent low-occupancy tiles
+    /// into rectangular super-tiles before rasterization, so sparse
+    /// peripheral tiles stop wasting scheduling slots. `0.0` disables
+    /// merging (the raster work units stay whole tile rows, the PR 3/4
+    /// behavior). Merging only regroups scheduling — pixels, winners and
+    /// every per-tile counter are bit-identical to the unmerged render.
+    pub merge_threshold: f32,
+    /// Maximum side length of a merged super-tile, in tiles per dimension
+    /// (a cap of `n` bounds a unit to `n × n` tiles). Must be `>= 1` even
+    /// when merging is disabled.
+    pub merge_max_extent: u32,
 }
 
 impl Default for RenderOptions {
@@ -70,6 +83,8 @@ impl Default for RenderOptions {
             sort_mode: SortMode::PerTile,
             track_point_stats: false,
             threads: 1,
+            merge_threshold: 0.0,
+            merge_max_extent: 4,
         }
     }
 }
@@ -82,6 +97,23 @@ impl RenderOptions {
             track_point_stats: true,
             ..Self::default()
         }
+    }
+
+    /// Preset with occupancy-driven tile merging enabled at the defaults
+    /// used throughout the imbalance experiments: tiles below half the mean
+    /// occupancy merge, capped at 4×4-tile super-tiles.
+    pub fn with_tile_merging() -> Self {
+        Self {
+            merge_threshold: 0.5,
+            merge_max_extent: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the Merge stage coalesces tiles (`merge_threshold > 0`).
+    /// When false the stage emits the identity band schedule.
+    pub fn merge_enabled(&self) -> bool {
+        self.merge_threshold > 0.0
     }
 
     /// The worker count the Raster stage will actually use: `threads`
@@ -121,6 +153,18 @@ impl RenderOptions {
                  never terminates compositing)",
                 self.t_min
             ));
+        }
+        if self.merge_threshold.is_nan() || self.merge_threshold < 0.0 {
+            return Err(format!(
+                "merge_threshold {} must be >= 0 (a NaN or negative occupancy \
+                 fraction makes every tile-mergeability comparison vacuous)",
+                self.merge_threshold
+            ));
+        }
+        if self.merge_max_extent == 0 {
+            return Err("merge_max_extent must be >= 1: a zero extent admits no \
+                 tiles into any work unit, leaving the raster schedule empty"
+                .into());
         }
         Ok(())
     }
@@ -199,6 +243,35 @@ mod tests {
             ..RenderOptions::default()
         };
         assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_knobs_validated() {
+        // NaN / negative occupancy fractions are configuration errors, in
+        // the same spirit as the dilation/t_min hardening.
+        for bad in [f32::NAN, -0.1, -1.0] {
+            let o = RenderOptions {
+                merge_threshold: bad,
+                ..RenderOptions::default()
+            };
+            assert!(
+                o.validate().is_err(),
+                "merge_threshold {bad} should be rejected"
+            );
+        }
+        let o = RenderOptions {
+            merge_max_extent: 0,
+            ..RenderOptions::default()
+        };
+        assert!(
+            o.validate().is_err(),
+            "zero merge extent should be rejected"
+        );
+        // Disabled (0.0) and enabled presets are both legal.
+        assert!(RenderOptions::default().validate().is_ok());
+        RenderOptions::with_tile_merging().validate().unwrap();
+        assert!(RenderOptions::with_tile_merging().merge_enabled());
+        assert!(!RenderOptions::default().merge_enabled());
     }
 
     #[test]

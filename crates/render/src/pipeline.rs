@@ -1,10 +1,16 @@
-//! The staged frame pipeline: **Project → Bin → Raster → Composite**.
+//! The staged frame pipeline: **Project → Bin → Merge → Raster →
+//! Composite**.
+//!
+//! `ARCHITECTURE.md` at the repository root is the canonical home of the
+//! pipeline/determinism contract; this module doc restates the parts it
+//! implements.
 //!
 //! # Stage graph
 //!
-//! Every frame flows through four named stages, mirroring the tile pipeline
-//! of the paper's §2.1 (Projection → Sorting → Rasterization) with an
-//! explicit composite step for band assembly:
+//! Every frame flows through five named stages, mirroring the tile pipeline
+//! of the paper's §2.1 (Projection → Sorting → Rasterization) with the
+//! §4.3 tile-merge pass between sorting and rasterization and an explicit
+//! composite step for work-unit assembly:
 //!
 //! ```text
 //!   GaussianModel ──▶ [Project] ──▶ Vec<ProjectedSplat>
@@ -13,17 +19,28 @@
 //!                                  [Bin]     counting-sort CSR tile bins
 //!                                     │      (sharded pass 1 + parallel sorts)
 //!                                     ▼
-//!                                  [Raster]  per-band compositing
+//!                                  [Merge]   occupancy-driven super-tiles
+//!                                     │      (serial scan over CSR offsets)
+//!                                     ▼
+//!                                  [Raster]  per-work-unit compositing
 //!                                     │      (serial or `threads`-way parallel)
 //!                                     ▼
-//!                                  [Composite] band merge → Image + winners
+//!                                  [Composite] unit merge → Image + winners
 //! ```
+//!
+//! The Merge stage partitions the tile grid into rectangular
+//! [`SuperTile`](crate::SuperTile) work units. With merging disabled
+//! (`merge_threshold == 0`, the default) it emits the identity band
+//! schedule — one unit per tile row, the PR 3/4 scheduling granularity.
+//! With merging enabled, adjacent low-occupancy tiles coalesce (bounded by
+//! `merge_max_extent` per side and by the mean tile occupancy per unit), so
+//! sparse peripheral tiles stop consuming scheduling slots of their own.
 //!
 //! # Parallelism and the determinism contract
 //!
-//! Three of the four stages parallelize across the persistent worker pool
+//! Three of the five stages parallelize across the persistent worker pool
 //! when [`RenderOptions::threads`](crate::RenderOptions) is not `1`
-//! (Composite is a cheap serial merge):
+//! (Merge is a cheap serial scan, Composite a cheap serial merge):
 //!
 //! * **Project** shards the model's point range into contiguous chunks;
 //!   chunk outputs concatenate in chunk order, so splat order stays model
@@ -32,14 +49,20 @@
 //!   merges the per-worker count arrays before the prefix sum; the scatter
 //!   pass stays a serial walk in model order, and the per-tile depth sorts
 //!   run on disjoint segments.
-//! * **Raster** distributes tile bands over workers; each band result lands
-//!   in its own slot and bands are assembled in index order.
+//! * **Raster** distributes the Merge stage's work units over workers; each
+//!   unit result lands in its own slot and units are assembled in schedule
+//!   order.
 //!
 //! The contract, enforced by `tests/determinism.rs`: for every thread
 //! count (including auto), a frame's image, winner buffer and
 //! [`FrameProfile`] work counters are **bit-identical** to the
-//! `threads = 1` serial reference, on both plain and masked renders. Only
-//! wall times may differ between runs.
+//! `threads = 1` serial reference, on plain, masked and filtered renders.
+//! Only wall times may differ between runs. Tile merging extends the
+//! contract along a second axis: because a pixel is always composited
+//! against *its own tile's* depth-sorted CSR list — a super-tile only
+//! regroups tiles into one scheduling slot — the merged render's image and
+//! winner buffer are bit-identical to the unmerged render's for every
+//! thread count too. Merging changes scheduling, never pixels.
 //!
 //! Each stage is a [`Stage`] implementation executed by a [`Profiler`],
 //! which records one [`StageSample`] per stage — wall time plus a
@@ -51,6 +74,7 @@
 //! |-----------|---------------------------------------------------|
 //! | Project   | splats surviving culling (`points_projected`)     |
 //! | Bin       | tile-ellipse intersections (CSR index length)     |
+//! | Merge     | raster work units emitted (super-tiles or bands)  |
 //! | Raster    | compositing steps executed (after early-stop)     |
 //! | Composite | pixels written to the output image                |
 //!
@@ -71,26 +95,29 @@
 //! By construction, a frame's simulated workload and its measured software
 //! workload are the same numbers.
 
-use crate::binning::TileBins;
+use crate::binning::{MergedTileSchedule, TileBins};
 use crate::image::Image;
 use crate::options::RenderOptions;
 use crate::projection::{project_model_filtered, ProjectedSplat};
-use crate::raster::{rasterize_band, BandResult};
+use crate::raster::{rasterize_unit, UnitResult};
 use crate::stats::TileGridDims;
 use ms_scene::{Camera, GaussianModel};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
-/// The four pipeline stages, in execution order.
+/// The five pipeline stages, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StageKind {
     /// Cull + project Gaussians to screen-space splats.
     Project,
     /// Build depth-sorted CSR tile bins (the paper's Sorting stage).
     Bin,
-    /// Per-band alpha compositing (the paper's Rasterization stage).
+    /// Partition the tile grid into raster work units, coalescing adjacent
+    /// low-occupancy tiles into super-tiles (the paper's §4.3 Tile Merging).
+    Merge,
+    /// Per-work-unit alpha compositing (the paper's Rasterization stage).
     Raster,
-    /// Merge rasterized bands into the output image.
+    /// Merge rasterized work units into the output image.
     Composite,
 }
 
@@ -100,6 +127,7 @@ impl StageKind {
         match self {
             StageKind::Project => "project",
             StageKind::Bin => "bin",
+            StageKind::Merge => "merge",
             StageKind::Raster => "raster",
             StageKind::Composite => "composite",
         }
@@ -335,13 +363,55 @@ impl Stage for BinStage<'_> {
     }
 }
 
-/// Rasterization stage: tile bins → per-band pixel runs.
+/// Merge stage: CSR tile bins → the raster work-unit schedule.
 ///
-/// Bands (horizontal tile rows) are independent, so they rasterize on
-/// `threads` workers pulling band indices from a shared counter. Band
-/// results land in per-band slots, making the output — and therefore the
-/// composited image — bit-identical for every thread count;
-/// `threads == 1` runs inline without spawning.
+/// With merging disabled (the default) this emits the identity band
+/// schedule — one unit per tile row — so the pipeline's scheduling
+/// granularity matches the pre-merge behavior exactly. With merging
+/// enabled, adjacent low-occupancy tiles coalesce into rectangular
+/// super-tiles (see [`MergedTileSchedule::merge_low_occupancy`]). The plan
+/// is a single serial O(tiles) scan over the CSR offsets, so it is
+/// deterministic for every thread count by construction.
+pub struct MergeStage<'a> {
+    /// Render options (merge knobs).
+    pub options: &'a RenderOptions,
+}
+
+impl<'a> Stage for MergeStage<'a> {
+    type In = &'a TileBins;
+    type Out = MergedTileSchedule;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Merge
+    }
+
+    fn run(&mut self, bins: &'a TileBins) -> Self::Out {
+        if self.options.merge_enabled() {
+            MergedTileSchedule::merge_low_occupancy(
+                bins,
+                self.options.merge_threshold,
+                self.options.merge_max_extent,
+            )
+        } else {
+            MergedTileSchedule::bands(bins.grid())
+        }
+    }
+
+    fn items(&self, out: &Self::Out) -> u64 {
+        out.units().len() as u64
+    }
+}
+
+/// Rasterization stage: tile bins + merge schedule → per-work-unit pixel
+/// rectangles.
+///
+/// Work units (super-tiles, or whole bands when merging is off) are
+/// independent, so they rasterize on `threads` workers pulling unit indices
+/// from a shared counter. Unit results land in per-unit slots, making the
+/// output — and therefore the composited image — bit-identical for every
+/// thread count; `threads == 1` runs inline without spawning. Every pixel
+/// composites against its own tile's CSR list regardless of which unit the
+/// tile was scheduled in, so the schedule shape cannot change a pixel.
 pub struct RasterStage<'a> {
     /// Projected splats (bins index into these).
     pub splats: &'a [ProjectedSplat],
@@ -354,32 +424,37 @@ pub struct RasterStage<'a> {
 }
 
 impl<'a> Stage for RasterStage<'a> {
-    type In = &'a TileBins;
-    type Out = Vec<BandResult>;
+    type In = (&'a TileBins, &'a MergedTileSchedule);
+    type Out = Vec<UnitResult>;
 
     fn kind(&self) -> StageKind {
         StageKind::Raster
     }
 
-    fn run(&mut self, bins: &'a TileBins) -> Self::Out {
-        let grid = bins.grid();
-        let threads = self
-            .options
-            .resolved_threads()
-            .min(grid.tiles_y.max(1) as usize);
-        if threads <= 1 || grid.tiles_y <= 1 {
-            return (0..grid.tiles_y)
-                .map(|ty| {
-                    rasterize_band(self.options, self.splats, bins, self.camera, ty, self.mask)
+    fn run(&mut self, (bins, schedule): Self::In) -> Self::Out {
+        let units = schedule.units();
+        let threads = self.options.resolved_threads().min(units.len().max(1));
+        if threads <= 1 || units.len() <= 1 {
+            return units
+                .iter()
+                .map(|unit| {
+                    rasterize_unit(
+                        self.options,
+                        self.splats,
+                        bins,
+                        self.camera,
+                        unit,
+                        self.mask,
+                    )
                 })
                 .collect();
         }
 
-        // Workers pop band indices from a shared counter; each band result
+        // Workers pop unit indices from a shared counter; each unit result
         // lands in its own slot, so assembly order — and the composited
         // image — is independent of scheduling.
-        let next = std::sync::atomic::AtomicU32::new(0);
-        let slots: Vec<std::sync::Mutex<Option<BandResult>>> = (0..grid.tiles_y)
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<UnitResult>>> = (0..units.len())
             .map(|_| std::sync::Mutex::new(None))
             .collect();
         let splats = self.splats;
@@ -391,22 +466,22 @@ impl<'a> Stage for RasterStage<'a> {
                 let next = &next;
                 let slots = &slots;
                 s.spawn(move |_| loop {
-                    let ty = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if ty >= grid.tiles_y {
+                    let u = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if u >= units.len() {
                         break;
                     }
-                    let band = rasterize_band(options, splats, bins, camera, ty, mask);
-                    *slots[ty as usize].lock().expect("band slot poisoned") = Some(band);
+                    let unit = rasterize_unit(options, splats, bins, camera, &units[u], mask);
+                    *slots[u].lock().expect("unit slot poisoned") = Some(unit);
                 });
             }
         });
         slots
             .into_iter()
             .enumerate()
-            .map(|(ty, cell)| {
+            .map(|(u, cell)| {
                 cell.into_inner()
-                    .expect("band slot poisoned")
-                    .unwrap_or_else(|| panic!("band {ty} missing"))
+                    .expect("unit slot poisoned")
+                    .unwrap_or_else(|| panic!("work unit {u} missing"))
             })
             .collect()
     }
@@ -416,11 +491,11 @@ impl<'a> Stage for RasterStage<'a> {
     }
 }
 
-/// Composite stage: ordered bands → final image (+ per-pixel winners).
+/// Composite stage: ordered work units → final image (+ per-pixel winners).
 pub struct CompositeStage<'a> {
     /// View camera (output dimensions).
     pub camera: &'a Camera,
-    /// Background color for pixels no band covers.
+    /// Background color for pixels no work unit covers.
     pub options: &'a RenderOptions,
     /// Whether winner tracking is on.
     pub track_winners: bool,
@@ -433,19 +508,19 @@ pub struct Composited {
     /// Winning point index per pixel (`u32::MAX` = none); empty unless
     /// winner tracking is on.
     pub winners: Vec<u32>,
-    /// Total compositing steps across bands.
+    /// Total compositing steps across work units.
     pub blend_steps: u64,
 }
 
 impl Stage for CompositeStage<'_> {
-    type In = Vec<BandResult>;
+    type In = Vec<UnitResult>;
     type Out = Composited;
 
     fn kind(&self) -> StageKind {
         StageKind::Composite
     }
 
-    fn run(&mut self, bands: Vec<BandResult>) -> Self::Out {
+    fn run(&mut self, units: Vec<UnitResult>) -> Self::Out {
         let cam = self.camera;
         let mut image = Image::filled(cam.width, cam.height, self.options.background);
         let mut winners: Vec<u32> = if self.track_winners {
@@ -454,16 +529,17 @@ impl Stage for CompositeStage<'_> {
             Vec::new()
         };
         let mut blend_steps = 0u64;
-        for band in bands {
-            blend_steps += band.blend_steps;
-            let rows = band.pixels.len() as u32 / cam.width;
+        for unit in units {
+            blend_steps += unit.blend_steps;
+            let rows = unit.pixels.len() as u32 / unit.width.max(1);
             for dy in 0..rows {
-                let y = band.y_start + dy;
-                for x in 0..cam.width {
-                    let idx = (dy * cam.width + x) as usize;
-                    image.set_pixel(x, y, band.pixels[idx]);
+                let y = unit.y_start + dy;
+                for dx in 0..unit.width {
+                    let x = unit.x_start + dx;
+                    let idx = (dy * unit.width + dx) as usize;
+                    image.set_pixel(x, y, unit.pixels[idx]);
                     if self.track_winners {
-                        winners[(y * cam.width + x) as usize] = band.winners[idx];
+                        winners[(y * cam.width + x) as usize] = unit.winners[idx];
                     }
                 }
             }
@@ -545,6 +621,7 @@ mod tests {
     fn stage_names_are_stable() {
         assert_eq!(StageKind::Project.name(), "project");
         assert_eq!(StageKind::Bin.name(), "bin");
+        assert_eq!(StageKind::Merge.name(), "merge");
         assert_eq!(StageKind::Raster.name(), "raster");
         assert_eq!(StageKind::Composite.name(), "composite");
     }

@@ -1,14 +1,17 @@
 //! Rasterization kernels and the top-level [`Renderer`].
 //!
 //! The renderer itself is thin: every entry point assembles the staged
-//! frame pipeline from [`crate::pipeline`] (Project → Bin → Raster →
-//! Composite) and runs it under a [`Profiler`], so per-stage wall time and
-//! work counters land in [`RenderStats::profile`]. This module keeps the
-//! per-band and per-pixel compositing kernels the Raster stage executes.
+//! frame pipeline from [`crate::pipeline`] (Project → Bin → Merge →
+//! Raster → Composite) and runs it under a [`Profiler`], so per-stage wall
+//! time and work counters land in [`RenderStats::profile`]. This module
+//! keeps the per-work-unit and per-pixel compositing kernels the Raster
+//! stage executes.
 
-use crate::binning::TileBins;
+use crate::binning::{SuperTile, TileBins};
 use crate::options::{RenderOptions, SortMode};
-use crate::pipeline::{BinStage, CompositeStage, Composited, Profiler, ProjectStage, RasterStage};
+use crate::pipeline::{
+    BinStage, CompositeStage, Composited, MergeStage, Profiler, ProjectStage, RasterStage,
+};
 use crate::projection::ProjectedSplat;
 use crate::stats::{RenderStats, TileGridDims};
 use ms_math::Vec2;
@@ -34,13 +37,19 @@ pub struct Renderer {
     options: RenderOptions,
 }
 
-/// Output of rasterizing one horizontal band of tiles — the unit of work
-/// the parallel Raster stage distributes and the Composite stage merges.
+/// Output of rasterizing one work unit (a [`SuperTile`] rectangle of
+/// tiles) — what the parallel Raster stage distributes and the Composite
+/// stage merges. A band is the degenerate full-row rectangle, so the
+/// unmerged pipeline produces exactly the PR 3/4 band results.
 #[derive(Debug)]
-pub struct BandResult {
-    /// First pixel row of the band.
+pub struct UnitResult {
+    /// First pixel column of the unit.
+    pub x_start: u32,
+    /// First pixel row of the unit.
     pub y_start: u32,
-    /// Pixels (row-major within the band).
+    /// Pixel width of the unit, clipped to the image.
+    pub width: u32,
+    /// Pixels (row-major within the unit, `width` per row).
     pub pixels: Vec<ms_math::Vec3>,
     /// Winning splat *point index* per pixel (`u32::MAX` = none).
     pub winners: Vec<u32>,
@@ -157,8 +166,8 @@ impl Renderer {
         self.run_pipeline(model_len, splats, camera, None, Profiler::default())
     }
 
-    /// Run Bin → Raster → Composite over projected splats and assemble
-    /// [`RenderStats`] from what the stages measured.
+    /// Run Bin → Merge → Raster → Composite over projected splats and
+    /// assemble [`RenderStats`] from what the stages measured.
     fn run_pipeline(
         &self,
         model_len: usize,
@@ -179,14 +188,20 @@ impl Renderer {
             },
             (),
         );
-        let bands = profiler.run(
+        let schedule = profiler.run(
+            &mut MergeStage {
+                options: &self.options,
+            },
+            &bins,
+        );
+        let units = profiler.run(
             &mut RasterStage {
                 splats,
                 options: &self.options,
                 camera,
                 mask,
             },
-            &bins,
+            (&bins, &schedule),
         );
         let Composited {
             image,
@@ -198,11 +213,21 @@ impl Renderer {
                 options: &self.options,
                 track_winners: track,
             },
-            bands,
+            units,
         );
 
         let tile_intersections = bins.intersection_counts();
         let total_intersections = bins.total_intersections();
+        // The per-tile → work-unit map is recorded only when occupancy
+        // merging actually ran; the identity band schedule reflects
+        // scheduling granularity, not a merge decision, and recording it
+        // would make the accelerator simulator treat whole bands as TMU
+        // output.
+        let tile_unit = if self.options.merge_enabled() {
+            schedule.tile_unit_map()
+        } else {
+            Vec::new()
+        };
         let (point_tiles_used, point_pixels_dominated) = if track {
             // Derived from the CSR bins so masked-out tiles do not count:
             // every CSR index entry is one (tile, splat) intersection.
@@ -232,6 +257,7 @@ impl Renderer {
                 blend_steps,
                 point_tiles_used,
                 point_pixels_dominated,
+                tile_unit,
                 profile: profiler.finish(),
             },
             winners,
@@ -266,68 +292,84 @@ fn check_camera(camera: &Camera) {
     );
 }
 
-/// Rasterize one horizontal band (all tiles in tile row `ty`).
-pub(crate) fn rasterize_band(
+/// Rasterize one work unit (a rectangle of tiles, clipped to the image).
+///
+/// Each pixel composites against **its own tile's** depth-sorted CSR list —
+/// the unit rectangle only decides which pixels this call owns — so two
+/// schedules that partition the grid differently produce bit-identical
+/// pixels, winners and blend-step counts. This is the invariant behind
+/// both determinism axes (thread count and merged-vs-unmerged).
+pub(crate) fn rasterize_unit(
     options: &RenderOptions,
     splats: &[ProjectedSplat],
     bins: &TileBins,
     camera: &Camera,
-    ty: u32,
+    unit: &SuperTile,
     mask: Option<&[bool]>,
-) -> BandResult {
+) -> UnitResult {
     let grid = bins.grid();
     let ts = grid.tile_size;
-    let y_start = ty * ts;
-    let y_end = (y_start + ts).min(camera.height);
-    let rows = y_end - y_start;
-    let mut pixels = vec![options.background; (rows * camera.width) as usize];
-    let mut winners = vec![u32::MAX; (rows * camera.width) as usize];
+    // Clip in u64: at extreme dimensions `tx1 * ts` can exceed u32 even
+    // though the clipped result fits.
+    let x_start = unit.tx0 * ts;
+    let y_start = unit.ty0 * ts;
+    let x_end = (unit.tx1 as u64 * ts as u64).min(camera.width as u64) as u32;
+    let y_end = (unit.ty1 as u64 * ts as u64).min(camera.height as u64) as u32;
+    let (unit_w, unit_h) = (x_end - x_start, y_end - y_start);
+    let mut pixels = vec![options.background; (unit_w * unit_h) as usize];
+    let mut winners = vec![u32::MAX; (unit_w * unit_h) as usize];
     let mut blend_steps = 0u64;
     let track = options.track_point_stats;
 
     // Scratch buffer for the per-pixel sort mode.
     let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
 
-    for tx in 0..grid.tiles_x {
-        let list = bins.tile(tx, ty);
-        if list.is_empty() {
-            continue;
-        }
-        let x_start = tx * ts;
-        let x_end = (x_start + ts).min(camera.width);
-        for y in y_start..y_end {
-            for x in x_start..x_end {
-                if let Some(mask) = mask {
-                    if !mask[(y * camera.width + x) as usize] {
-                        continue;
-                    }
-                }
-                let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
-                let out_idx = ((y - y_start) * camera.width + x) as usize;
-                match options.sort_mode {
-                    SortMode::PerTile => {
-                        let (color, winner, steps) = composite_pixel(options, splats, list, px);
-                        pixels[out_idx] = color;
-                        if track {
-                            winners[out_idx] = winner;
+    for ty in unit.ty0..unit.ty1 {
+        for tx in unit.tx0..unit.tx1 {
+            let list = bins.tile(tx, ty);
+            if list.is_empty() {
+                continue;
+            }
+            let tx_start = tx * ts;
+            let tx_end = (tx_start as u64 + ts as u64).min(camera.width as u64) as u32;
+            let ty_start = ty * ts;
+            let ty_end = (ty_start as u64 + ts as u64).min(camera.height as u64) as u32;
+            for y in ty_start..ty_end {
+                for x in tx_start..tx_end {
+                    if let Some(mask) = mask {
+                        if !mask[(y * camera.width + x) as usize] {
+                            continue;
                         }
-                        blend_steps += steps;
                     }
-                    SortMode::PerPixel => {
-                        let (color, winner, steps) =
-                            composite_pixel_sorted(options, splats, list, px, &mut contribs);
-                        pixels[out_idx] = color;
-                        if track {
-                            winners[out_idx] = winner;
+                    let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+                    let out_idx = ((y - y_start) * unit_w + (x - x_start)) as usize;
+                    match options.sort_mode {
+                        SortMode::PerTile => {
+                            let (color, winner, steps) = composite_pixel(options, splats, list, px);
+                            pixels[out_idx] = color;
+                            if track {
+                                winners[out_idx] = winner;
+                            }
+                            blend_steps += steps;
                         }
-                        blend_steps += steps;
+                        SortMode::PerPixel => {
+                            let (color, winner, steps) =
+                                composite_pixel_sorted(options, splats, list, px, &mut contribs);
+                            pixels[out_idx] = color;
+                            if track {
+                                winners[out_idx] = winner;
+                            }
+                            blend_steps += steps;
+                        }
                     }
                 }
             }
         }
     }
-    BandResult {
+    UnitResult {
+        x_start,
         y_start,
+        width: unit_w,
         pixels,
         winners,
         blend_steps,
@@ -732,7 +774,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_records_all_four_stages() {
+    fn profile_records_all_five_stages() {
         let m = solid_model(&[(Vec3::zero(), Vec3::splat(0.4), 0.9, Vec3::one())]);
         let out = Renderer::default().render(&m, &cam(64, 64));
         let kinds: Vec<StageKind> = out.stats.profile.samples.iter().map(|s| s.kind).collect();
@@ -741,6 +783,7 @@ mod tests {
             vec![
                 StageKind::Project,
                 StageKind::Bin,
+                StageKind::Merge,
                 StageKind::Raster,
                 StageKind::Composite
             ]
@@ -752,8 +795,62 @@ mod tests {
             out.stats.points_projected as u64
         );
         assert_eq!(p.items(StageKind::Bin), out.stats.total_intersections);
+        // Merging disabled by default: the schedule is one band per tile
+        // row (64 px / 16 px tiles = 4 bands), and no unit map is recorded.
+        assert_eq!(p.items(StageKind::Merge), 4);
+        assert!(out.stats.tile_unit.is_empty());
         assert_eq!(p.items(StageKind::Raster), out.stats.blend_steps);
         assert_eq!(p.items(StageKind::Composite), 64 * 64);
+    }
+
+    #[test]
+    fn merged_render_is_bit_identical_and_records_schedule() {
+        let m = solid_model(&[
+            (
+                Vec3::new(-0.5, 0.0, 0.0),
+                Vec3::splat(0.3),
+                0.9,
+                Vec3::new(1.0, 0.0, 0.0),
+            ),
+            (
+                Vec3::new(0.4, 0.3, 0.5),
+                Vec3::splat(0.2),
+                0.8,
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
+        ]);
+        let camera = cam(96, 96);
+        let plain = Renderer::new(RenderOptions {
+            track_point_stats: true,
+            ..RenderOptions::default()
+        })
+        .render(&m, &camera);
+        let merged = Renderer::new(RenderOptions {
+            track_point_stats: true,
+            ..RenderOptions::with_tile_merging()
+        })
+        .render(&m, &camera);
+        assert_eq!(merged.image, plain.image, "merging must not change pixels");
+        assert_eq!(merged.winners, plain.winners);
+        assert_eq!(merged.stats.blend_steps, plain.stats.blend_steps);
+        assert_eq!(
+            merged.stats.tile_intersections,
+            plain.stats.tile_intersections
+        );
+        // The merged run records the schedule; the unit counters partition
+        // the per-tile counts.
+        assert_eq!(merged.stats.tile_unit.len(), merged.stats.grid.tile_count());
+        assert!(merged.stats.work_unit_count() > 0);
+        assert_eq!(
+            merged
+                .stats
+                .unit_intersections()
+                .iter()
+                .map(|&u| u as u64)
+                .sum::<u64>(),
+            merged.stats.total_intersections
+        );
+        assert!(plain.stats.tile_unit.is_empty());
     }
 
     #[test]
@@ -769,6 +866,6 @@ mod tests {
             .samples
             .iter()
             .all(|s| s.kind != StageKind::Project));
-        assert_eq!(out.stats.profile.samples.len(), 3);
+        assert_eq!(out.stats.profile.samples.len(), 4);
     }
 }

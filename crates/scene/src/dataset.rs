@@ -2,7 +2,7 @@
 //!
 //! Mirrors the paper's corpus ("Mip-Nerf360, Tanks & Temple, and
 //! DeepBlending, which amounts to 13 traces in total", §6). Each trace maps
-//! to a deterministic [`SceneSpec`](crate::synth::SceneSpec) whose point
+//! to a deterministic [`SceneSpec`] whose point
 //! budget and composition echo the real scene's character (e.g. `bicycle` is
 //! the largest/most cluttered; indoor traces are smaller and denser).
 

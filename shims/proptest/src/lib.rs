@@ -87,7 +87,7 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
 pub mod collection {
     use super::{test_runner::TestRng, Strategy};
 
-    /// Length specification for [`vec`]: an exact size or a half-open range.
+    /// Length specification for [`vec()`]: an exact size or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -118,7 +118,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

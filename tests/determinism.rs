@@ -2,7 +2,13 @@
 //! a frame rendered with `threads = 1` (the serial reference) must be
 //! *bit-identical* — pixels, winner buffers and `FrameProfile` work
 //! counters — to the same frame rendered with any other worker count,
-//! including auto (`threads = 0`), on both plain and masked renders.
+//! including auto (`threads = 0`), on plain, masked and filtered renders.
+//!
+//! Occupancy-driven tile merging (`RenderOptions::merge_threshold`) adds a
+//! second determinism axis: a *merged* render must be bit-identical in
+//! pixels and winners to the *unmerged* render of the same frame — merging
+//! regroups raster scheduling, never per-pixel work — and the merged
+//! configuration must itself be bit-identical across all thread counts.
 
 use metasapiens::render::{RenderOptions, RenderOutput, Renderer, StageKind};
 use metasapiens::scene::dataset::TraceId;
@@ -49,6 +55,7 @@ fn assert_bit_identical(par: &RenderOutput, serial: &RenderOutput, threads: usiz
     for kind in [
         StageKind::Project,
         StageKind::Bin,
+        StageKind::Merge,
         StageKind::Raster,
         StageKind::Composite,
     ] {
@@ -135,10 +142,139 @@ fn profile_stages_present_regardless_of_threads() {
             vec![
                 StageKind::Project,
                 StageKind::Bin,
+                StageKind::Merge,
                 StageKind::Raster,
                 StageKind::Composite
             ],
             "stage graph must not depend on the worker count"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Tile merging: the second determinism axis
+// ---------------------------------------------------------------------------
+
+/// A pulled-back view of the kitchen scene: the model shrinks into the
+/// center tiles, leaving the sparse periphery that makes occupancy merging
+/// actually coalesce super-tiles (the head-on test camera fills every tile
+/// far too uniformly for any tile to drop below half the mean).
+fn foveal_camera() -> Camera {
+    use metasapiens::math::Vec3;
+    Camera::look_at(160, 120, 60.0, Vec3::new(0.0, 0.0, 16.0), Vec3::zero())
+}
+
+fn merge_opts(threads: usize) -> RenderOptions {
+    RenderOptions {
+        threads,
+        track_point_stats: true,
+        ..RenderOptions::with_tile_merging()
+    }
+}
+
+/// Assert a merged render is the same *frame* as an unmerged render:
+/// pixels, winners, and every schedule-independent workload counter.
+/// (`RenderStats` as a whole legitimately differs: the merged run records
+/// the schedule in `tile_unit` and a different Merge work counter.)
+fn assert_same_frame(merged: &RenderOutput, unmerged: &RenderOutput, label: &str) {
+    assert_eq!(
+        merged.image, unmerged.image,
+        "merged pixels differ ({label})"
+    );
+    assert_eq!(
+        merged.winners, unmerged.winners,
+        "merged winners differ ({label})"
+    );
+    assert_eq!(
+        merged.stats.tile_intersections, unmerged.stats.tile_intersections,
+        "per-tile counts differ ({label})"
+    );
+    assert_eq!(merged.stats.blend_steps, unmerged.stats.blend_steps);
+    assert_eq!(
+        merged.stats.point_pixels_dominated,
+        unmerged.stats.point_pixels_dominated
+    );
+    for kind in [StageKind::Project, StageKind::Bin, StageKind::Raster] {
+        assert_eq!(
+            merged.stats.profile.items(kind),
+            unmerged.stats.profile.items(kind),
+            "{} work counter differs ({label})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn merged_render_is_bit_identical_to_unmerged_across_threads() {
+    let s = scene();
+    let cam = foveal_camera();
+    let unmerged = Renderer::new(opts(1)).render(&s.model, &cam);
+    let merged_serial = Renderer::new(merge_opts(1)).render(&s.model, &cam);
+    assert_same_frame(&merged_serial, &unmerged, "plain, threads=1");
+    // The merged run actually merged something on this foveal scene.
+    assert!(
+        merged_serial.stats.work_unit_count() < merged_serial.stats.grid.tile_count(),
+        "expected at least one super-tile merge"
+    );
+    for threads in THREAD_COUNTS {
+        let merged = Renderer::new(merge_opts(threads)).render(&s.model, &cam);
+        assert_bit_identical(&merged, &merged_serial, threads);
+        assert_same_frame(&merged, &unmerged, "plain");
+    }
+}
+
+#[test]
+fn merged_masked_render_is_bit_identical_to_unmerged_across_threads() {
+    let s = scene();
+    let cam = foveal_camera();
+    let mask: Vec<bool> = (0..(cam.width * cam.height) as usize)
+        .map(|i| {
+            let (x, y) = (i as u32 % cam.width, i as u32 / cam.width);
+            x < cam.width / 2 || (x + y) % 7 == 0
+        })
+        .collect();
+    let unmerged = Renderer::new(opts(1)).render_masked(&s.model, &cam, |_| true, &mask);
+    let merged_serial = Renderer::new(merge_opts(1)).render_masked(&s.model, &cam, |_| true, &mask);
+    assert_same_frame(&merged_serial, &unmerged, "masked, threads=1");
+    for threads in THREAD_COUNTS {
+        let merged =
+            Renderer::new(merge_opts(threads)).render_masked(&s.model, &cam, |_| true, &mask);
+        assert_bit_identical(&merged, &merged_serial, threads);
+        assert_same_frame(&merged, &unmerged, "masked");
+    }
+}
+
+#[test]
+fn merged_filtered_render_is_bit_identical_to_unmerged_across_threads() {
+    let s = scene();
+    let cam = foveal_camera();
+    let admit = |i: usize| i % 3 != 1;
+    let unmerged = Renderer::new(opts(1)).render_filtered(&s.model, &cam, admit);
+    let merged_serial = Renderer::new(merge_opts(1)).render_filtered(&s.model, &cam, admit);
+    assert_same_frame(&merged_serial, &unmerged, "filtered, threads=1");
+    for threads in THREAD_COUNTS {
+        let merged = Renderer::new(merge_opts(threads)).render_filtered(&s.model, &cam, admit);
+        assert_bit_identical(&merged, &merged_serial, threads);
+        assert_same_frame(&merged, &unmerged, "filtered");
+    }
+}
+
+#[test]
+fn merging_reduces_work_units_and_imbalance() {
+    // The §4.3 claim at the renderer level: fewer, better-balanced work
+    // units on a foveal (center-heavy) frame, with identical pixels.
+    let s = scene();
+    let cam = foveal_camera();
+    let merged = Renderer::new(merge_opts(1)).render(&s.model, &cam);
+    let units = merged.stats.work_unit_count();
+    assert!(units > 0 && units < merged.stats.grid.tile_count());
+    let post = merged
+        .stats
+        .unit_imbalance_ratio()
+        .expect("merged run records a schedule");
+    let pre = merged.stats.imbalance_ratio();
+    assert!(
+        post < pre,
+        "per-unit imbalance {post} must undercut per-tile {pre}"
+    );
 }
