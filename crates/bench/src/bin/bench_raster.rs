@@ -1,0 +1,229 @@
+//! Raster-kernel bench record: per-stage wall times for the scalar and
+//! 4-lane SIMD compositing kernels across thread counts, on a dense and a
+//! foveated workload. Prints a table and writes `BENCH_pr6.json` at the
+//! repo root (override the path with `MS_BENCH_OUT`).
+//!
+//! The dense single-threaded Raster wall is the acceptance number for the
+//! SIMD kernel work: `Simd4` must beat `Scalar` by ≥ 1.3× there.
+
+use metasapiens::fov::{build_foveated, FoveatedModel, FoveatedRenderer, FrBuildConfig};
+use metasapiens::render::{RasterKernel, RenderOptions, Renderer, StageKind};
+use metasapiens::scene::dataset::TraceId;
+use metasapiens::scene::synth::Scene;
+use metasapiens::scene::Camera;
+use ms_bench::print_table;
+
+const STAGES: [StageKind; 5] = [
+    StageKind::Project,
+    StageKind::Bin,
+    StageKind::Merge,
+    StageKind::Raster,
+    StageKind::Composite,
+];
+
+/// One measured configuration: best-of-N per-stage walls in microseconds.
+struct Row {
+    scene: &'static str,
+    kernel: RasterKernel,
+    threads: usize,
+    walls_us: [f64; 5],
+    total_us: f64,
+}
+
+fn kernel_name(k: RasterKernel) -> &'static str {
+    match k {
+        RasterKernel::Scalar => "scalar",
+        RasterKernel::Simd4 => "simd4",
+        RasterKernel::Auto => "auto",
+    }
+}
+
+fn getf(key: &str, default: f32) -> f32 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f32>().ok())
+        .unwrap_or(default)
+}
+
+/// One benchmarked configuration and the best profile seen for it so far.
+/// All configurations are sampled round-robin (one frame each per
+/// repetition) so slow drift in machine load hits every cell equally
+/// instead of biasing whichever kernel happened to run last.
+struct Cell {
+    scene: &'static str,
+    kernel: RasterKernel,
+    threads: usize,
+    render: Box<dyn Fn() -> metasapiens::render::FrameProfile>,
+    best: Option<metasapiens::render::FrameProfile>,
+}
+
+impl Cell {
+    fn sample(&mut self) {
+        let p = (self.render)();
+        let better = self
+            .best
+            .as_ref()
+            .map_or(true, |b| p.total_wall() < b.total_wall());
+        if better {
+            self.best = Some(p);
+        }
+    }
+
+    fn row(&self) -> Row {
+        let best = self.best.as_ref().expect("at least one sample");
+        let walls_us: [f64; 5] = std::array::from_fn(|i| best.wall(STAGES[i]).as_secs_f64() * 1e6);
+        Row {
+            scene: self.scene,
+            kernel: self.kernel,
+            threads: self.threads,
+            walls_us,
+            total_us: best.total_wall().as_secs_f64() * 1e6,
+        }
+    }
+}
+
+fn json_row(r: &Row) -> String {
+    let stages: Vec<String> = STAGES
+        .iter()
+        .zip(r.walls_us.iter())
+        .map(|(k, us)| format!("\"{}\": {:.1}", k.name().to_ascii_lowercase(), us))
+        .collect();
+    format!(
+        "    {{\"scene\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \"stage_walls_us\": {{{}}}, \"total_us\": {:.1}}}",
+        r.scene,
+        kernel_name(r.kernel),
+        r.threads,
+        stages.join(", "),
+        r.total_us
+    )
+}
+
+fn dense_scene(scale: f32, width: u32, height: u32) -> (Scene, Camera) {
+    let scene = TraceId::by_name("room")
+        .unwrap()
+        .build_scene_with_scale(scale);
+    let cam = Camera {
+        width,
+        height,
+        fovy: ms_math::deg_to_rad(74.0),
+        ..scene.train_cameras[0]
+    };
+    (scene, cam)
+}
+
+fn foveated_model(scene: &Scene, cam: &Camera) -> FoveatedModel {
+    let reference = Renderer::default().render(&scene.model, cam).image;
+    build_foveated(
+        &scene.model,
+        std::slice::from_ref(cam),
+        &[reference],
+        &FrBuildConfig {
+            finetune: None,
+            ..FrBuildConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let scale = getf("MS_SCALE", 0.008);
+    let width = getf("MS_W", 256.0) as u32;
+    let height = getf("MS_H", 192.0) as u32;
+    let frames = getf("MS_FRAMES", 9.0) as usize;
+    let thread_counts: Vec<usize> = std::env::var("MS_THREADS")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("MS_THREADS: comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 2, 3, 8]);
+    let kernels = [RasterKernel::Scalar, RasterKernel::Simd4];
+
+    println!("== raster kernel bench: scalar vs simd4 ==");
+    println!("scene room @ scale {scale}, {width}x{height}, best of {frames} frames\n");
+
+    let (scene, cam) = dense_scene(scale, width, height);
+    let fr_model = foveated_model(&scene, &cam);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &kernel in &kernels {
+        for &threads in &thread_counts {
+            let options = RenderOptions {
+                threads,
+                raster_kernel: kernel,
+                ..RenderOptions::default()
+            };
+            let renderer = Renderer::new(options.clone());
+            let (sc, cc) = (scene.model.clone(), cam);
+            cells.push(Cell {
+                scene: "dense",
+                kernel,
+                threads,
+                render: Box::new(move || renderer.render(&sc, &cc).stats.profile),
+                best: None,
+            });
+            let fov = FoveatedRenderer::new(options.clone());
+            let (fm, fc) = (fr_model.clone(), cam);
+            cells.push(Cell {
+                scene: "foveated",
+                kernel,
+                threads,
+                render: Box::new(move || fov.render(&fm, &fc, None).stats.profile),
+                best: None,
+            });
+        }
+    }
+    for _ in 0..frames {
+        for cell in cells.iter_mut() {
+            cell.sample();
+        }
+    }
+    let rows: Vec<Row> = cells.iter().map(Cell::row).collect();
+
+    let headers = [
+        "scene",
+        "kernel",
+        "threads",
+        "project",
+        "bin",
+        "merge",
+        "raster",
+        "composite",
+        "total",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.scene.to_string(),
+                kernel_name(r.kernel).to_string(),
+                r.threads.to_string(),
+            ];
+            row.extend(r.walls_us.iter().map(|us| format!("{us:.1}")));
+            row.push(format!("{:.1}", r.total_us));
+            row
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    // Acceptance ratio: single-threaded Raster wall, scalar / simd4.
+    let raster_us = |scene: &str, kernel: RasterKernel| {
+        rows.iter()
+            .find(|r| r.scene == scene && r.kernel == kernel && r.threads == 1)
+            .map(|r| r.walls_us[3])
+            .unwrap_or(f64::NAN)
+    };
+    let dense_speedup =
+        raster_us("dense", RasterKernel::Scalar) / raster_us("dense", RasterKernel::Simd4);
+    let fov_speedup =
+        raster_us("foveated", RasterKernel::Scalar) / raster_us("foveated", RasterKernel::Simd4);
+    println!("\nraster speedup (1 thread, scalar/simd4): dense {dense_speedup:.2}x, foveated {fov_speedup:.2}x");
+
+    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+    let json_rows: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"raster_kernel\",\n  \"pr\": 6,\n  \"config\": {{\"trace\": \"room\", \"scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames\": {frames}}},\n  \"results\": [\n{}\n  ],\n  \"raster_speedup_1t_scalar_over_simd4\": {{\"dense\": {dense_speedup:.3}, \"foveated\": {fov_speedup:.3}}}\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench record");
+    println!("wrote {out_path}");
+}

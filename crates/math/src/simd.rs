@@ -1,0 +1,286 @@
+//! Portable fixed-width SIMD lanes for the rasterization kernels.
+//!
+//! These are plain `[T; 4]` wrappers with `#[inline]` per-lane operations —
+//! no `std::simd`, no intrinsics, no nightly features. Every lane op is the
+//! *scalar* `f32`/`u32` operation applied element-wise, which gives two
+//! properties the renderer's determinism contract depends on:
+//!
+//! * **Bit-exactness per lane.** `F32x4::min` is `f32::min` four times,
+//!   lane addition is IEEE `f32` addition, comparisons have scalar NaN
+//!   semantics. A kernel that runs the same op sequence per lane as a
+//!   scalar reference therefore produces bit-identical results — there is
+//!   no fused-multiply-add, no flush-to-zero, no vendor `min` NaN quirk to
+//!   diverge on.
+//! * **Autovectorization.** The element-wise loops are the exact shape
+//!   LLVM's SLP/loop vectorizers turn into `movaps`-style packed ops on
+//!   every target with 128-bit vectors, so the batching still pays off in
+//!   machine code without any per-target code in this crate.
+//!
+//! Masked accumulation uses [`Mask4::select`] (and friends) rather than
+//! multiply-by-zero tricks: a retired lane keeps its previous value
+//! *bit-for-bit*, including signed zeros and NaN payloads, exactly as if
+//! the scalar loop had `break`-ed for that pixel.
+
+/// Four `f32` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F32x4(pub [f32; 4]);
+
+/// Four `u32` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct U32x4(pub [u32; 4]);
+
+/// Four boolean lanes gating per-lane operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Mask4(pub [bool; 4]);
+
+/// Number of lanes in every vector of this module.
+pub const LANES: usize = 4;
+
+impl F32x4 {
+    /// Broadcast `v` into all lanes.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self([v; 4])
+    }
+
+    /// Build from four lane values.
+    #[inline]
+    pub const fn new(a: f32, b: f32, c: f32, d: f32) -> Self {
+        Self([a, b, c, d])
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn lane(self, i: usize) -> f32 {
+        self.0[i]
+    }
+
+    /// The lane array.
+    #[inline]
+    pub const fn to_array(self) -> [f32; 4] {
+        self.0
+    }
+
+    /// Per-lane `f32::min` (scalar NaN semantics, unlike hardware `minps`).
+    #[inline]
+    pub fn min(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i].min(o.0[i])))
+    }
+
+    /// Per-lane `self < o`.
+    #[inline]
+    pub fn lt(self, o: Self) -> Mask4 {
+        Mask4(std::array::from_fn(|i| self.0[i] < o.0[i]))
+    }
+
+    /// Per-lane `self > o`.
+    #[inline]
+    pub fn gt(self, o: Self) -> Mask4 {
+        Mask4(std::array::from_fn(|i| self.0[i] > o.0[i]))
+    }
+}
+
+impl std::ops::Add for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+}
+
+impl std::ops::Sub for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] - o.0[i]))
+    }
+}
+
+impl std::ops::Mul for F32x4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+}
+
+impl U32x4 {
+    /// Broadcast `v` into all lanes.
+    #[inline]
+    pub const fn splat(v: u32) -> Self {
+        Self([v; 4])
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn lane(self, i: usize) -> u32 {
+        self.0[i]
+    }
+
+    /// The lane array.
+    #[inline]
+    pub const fn to_array(self) -> [u32; 4] {
+        self.0
+    }
+
+    /// Sum of all lanes, widened to `u64` so it cannot overflow.
+    #[inline]
+    pub fn wide_sum(self) -> u64 {
+        self.0.iter().map(|&v| v as u64).sum()
+    }
+}
+
+impl std::ops::Add for U32x4 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+    }
+}
+
+impl Mask4 {
+    /// All lanes on.
+    #[inline]
+    pub const fn all_on() -> Self {
+        Self([true; 4])
+    }
+
+    /// Whether any lane is on.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0[0] | self.0[1] | self.0[2] | self.0[3]
+    }
+
+    /// Whether all lanes are on.
+    #[inline]
+    pub fn all(self) -> bool {
+        self.0[0] & self.0[1] & self.0[2] & self.0[3]
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn lane(self, i: usize) -> bool {
+        self.0[i]
+    }
+
+    /// Per-lane `if self { a } else { b }` on `f32` lanes.
+    #[inline]
+    pub fn select(self, a: F32x4, b: F32x4) -> F32x4 {
+        F32x4(std::array::from_fn(
+            |i| if self.0[i] { a.0[i] } else { b.0[i] },
+        ))
+    }
+
+    /// Per-lane `if self { a } else { b }` on `u32` lanes.
+    #[inline]
+    pub fn select_u32(self, a: U32x4, b: U32x4) -> U32x4 {
+        U32x4(std::array::from_fn(
+            |i| if self.0[i] { a.0[i] } else { b.0[i] },
+        ))
+    }
+
+    /// Count of on lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0[0] as u32 + self.0[1] as u32 + self.0[2] as u32 + self.0[3] as u32
+    }
+
+    /// The mask as `0`/`1` integer lanes (for branch-free counters).
+    #[inline]
+    pub fn to_u32x4(self) -> U32x4 {
+        U32x4(std::array::from_fn(|i| self.0[i] as u32))
+    }
+}
+
+impl std::ops::BitAnd for Mask4 {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] & o.0[i]))
+    }
+}
+
+impl std::ops::BitOr for Mask4 {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, o: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] | o.0[i]))
+    }
+}
+
+impl std::ops::Not for Mask4 {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        Self(std::array::from_fn(|i| !self.0[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_matches_scalar() {
+        let a = F32x4::new(1.0, -2.5, 0.0, 1e30);
+        let b = F32x4::new(0.5, 4.0, -0.0, 1e30);
+        for i in 0..LANES {
+            assert_eq!((a + b).lane(i), a.lane(i) + b.lane(i));
+            assert_eq!((a - b).lane(i), a.lane(i) - b.lane(i));
+            assert_eq!((a * b).lane(i), a.lane(i) * b.lane(i));
+            assert_eq!(a.min(b).lane(i), a.lane(i).min(b.lane(i)));
+        }
+    }
+
+    #[test]
+    fn comparisons_have_scalar_nan_semantics() {
+        let nan = F32x4::new(f32::NAN, 1.0, f32::NAN, -1.0);
+        let one = F32x4::splat(1.0);
+        // NaN compares false both ways, exactly like scalar f32.
+        assert_eq!(nan.lt(one).0, [false, false, false, true]);
+        assert_eq!(nan.gt(one).0, [false, false, false, false]);
+        // min keeps f32::min's NaN behavior (returns the non-NaN operand).
+        assert_eq!(nan.min(one).lane(0), 1.0);
+    }
+
+    #[test]
+    fn select_preserves_bits() {
+        let a = F32x4::new(1.0, -0.0, f32::NAN, 3.0);
+        let b = F32x4::new(9.0, 0.0, 2.0, f32::NAN);
+        let m = Mask4([true, false, true, false]);
+        let s = m.select(a, b);
+        assert_eq!(s.lane(0).to_bits(), 1.0f32.to_bits());
+        assert_eq!(s.lane(1).to_bits(), 0.0f32.to_bits()); // kept b's +0.0
+        assert!(s.lane(2).is_nan());
+        assert!(s.lane(3).is_nan());
+        let u = m.select_u32(U32x4::splat(7), U32x4::splat(u32::MAX));
+        assert_eq!(u.to_array(), [7, u32::MAX, 7, u32::MAX]);
+    }
+
+    #[test]
+    fn mask_reductions() {
+        assert!(Mask4::all_on().all());
+        assert!(Mask4::all_on().any());
+        let m = Mask4([false, true, false, false]);
+        assert!(m.any() && !m.all());
+        assert_eq!(m.count(), 1);
+        assert_eq!((!m).count(), 3);
+        assert_eq!((m & Mask4::all_on()), m);
+        assert_eq!((m | !m), Mask4::all_on());
+    }
+
+    #[test]
+    fn u32_accumulation() {
+        let m = Mask4([true, false, true, true]);
+        assert_eq!(m.to_u32x4().to_array(), [1, 0, 1, 1]);
+        let acc = U32x4::splat(5) + m.to_u32x4();
+        assert_eq!(acc.to_array(), [6, 5, 6, 6]);
+        assert_eq!(acc.wide_sum(), 23);
+        // Lane addition wraps rather than panicking in debug builds.
+        assert_eq!((U32x4::splat(u32::MAX) + U32x4::splat(2)).lane(0), 1);
+        assert_eq!(U32x4::splat(u32::MAX).wide_sum(), 4 * (u32::MAX as u64));
+    }
+}

@@ -184,11 +184,15 @@ impl TileBins {
         tile_count: usize,
         shards: usize,
     ) {
+        // `total_cmp` is a genuine total order — the old `partial_cmp(..)
+        // .unwrap_or(Equal)` comparator was not (NaN compared Equal to
+        // everything, which violates sort_by's transitivity contract), and
+        // it orders identically for the non-NaN depths projection emits.
+        // The sort stays stable, so equal depths keep submission order.
         let by_depth = |&a: &u32, &b: &u32| {
             splats[a as usize]
                 .depth
-                .partial_cmp(&splats[b as usize].depth)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&splats[b as usize].depth)
         };
 
         if shards <= 1 || indices.is_empty() {
@@ -264,8 +268,7 @@ impl TileBins {
             bin.sort_by(|&a, &b| {
                 splats[a as usize]
                     .depth
-                    .partial_cmp(&splats[b as usize].depth)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&splats[b as usize].depth)
             });
         }
         bins

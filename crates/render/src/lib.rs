@@ -50,7 +50,7 @@ mod stats;
 
 pub use binning::{MergedTileSchedule, SuperTile, TileBins};
 pub use image::Image;
-pub use options::{RenderOptions, SortMode};
+pub use options::{RasterKernel, RenderOptions, SortMode};
 pub use pipeline::{FrameProfile, Profiler, Stage, StageKind, StageSample};
 pub use projection::{project_model, project_model_filtered, ProjectedSplat};
 pub use raster::{RenderOutput, Renderer};

@@ -18,6 +18,31 @@ pub enum SortMode {
     PerPixel,
 }
 
+/// Which per-pixel compositing kernel the Raster stage runs.
+///
+/// Both kernels are **bit-identical** — the SIMD kernel batches four pixels
+/// of a tile row into lanes but executes the same `f32` op sequence per
+/// pixel as the scalar kernel (see the `ms_render::pipeline` module docs
+/// for the contract, and the kernel-equivalence property test for the
+/// enforcement). Selection is therefore purely a throughput knob; tests and
+/// CI pin one path explicitly to keep both covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RasterKernel {
+    /// Resolve from the `MS_RASTER_KERNEL` environment variable
+    /// (`scalar`/`simd4`, case-insensitive), falling back to [`Simd4`]
+    /// when unset. This is the CI seam: the determinism suite runs once
+    /// per pinned kernel without recompiling.
+    ///
+    /// [`Simd4`]: RasterKernel::Simd4
+    #[default]
+    Auto,
+    /// One pixel at a time — the reference kernel.
+    Scalar,
+    /// Four pixels of a tile row per iteration on [`ms_math::simd`] lanes;
+    /// row remainders and masked-pixel gaps fall back to the scalar kernel.
+    Simd4,
+}
+
 /// Options controlling a render pass.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RenderOptions {
@@ -67,6 +92,12 @@ pub struct RenderOptions {
     /// (a cap of `n` bounds a unit to `n × n` tiles). Must be `>= 1` even
     /// when merging is disabled.
     pub merge_max_extent: u32,
+    /// Compositing kernel for the Raster stage. Scalar and SIMD produce
+    /// bit-identical frames; [`RasterKernel::Auto`] (the default) picks the
+    /// SIMD kernel unless the `MS_RASTER_KERNEL` environment variable pins
+    /// one. The per-pixel-sorted mode ([`SortMode::PerPixel`]) always runs
+    /// the scalar gather+sort kernel regardless of this setting.
+    pub raster_kernel: RasterKernel,
 }
 
 impl Default for RenderOptions {
@@ -85,6 +116,7 @@ impl Default for RenderOptions {
             threads: 1,
             merge_threshold: 0.0,
             merge_max_extent: 4,
+            raster_kernel: RasterKernel::Auto,
         }
     }
 }
@@ -114,6 +146,31 @@ impl RenderOptions {
     /// When false the stage emits the identity band schedule.
     pub fn merge_enabled(&self) -> bool {
         self.merge_threshold > 0.0
+    }
+
+    /// The compositing kernel the Raster stage will actually run:
+    /// `raster_kernel` itself when pinned, otherwise the `MS_RASTER_KERNEL`
+    /// environment variable (`scalar` or `simd4`, case-insensitive), and
+    /// [`RasterKernel::Simd4`] when neither pins one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `MS_RASTER_KERNEL` is set to an unrecognized value —
+    /// the variable exists so CI can pin a kernel, and a typo silently
+    /// falling back to the default would unpin it.
+    pub fn resolved_kernel(&self) -> RasterKernel {
+        match self.raster_kernel {
+            RasterKernel::Scalar => RasterKernel::Scalar,
+            RasterKernel::Simd4 => RasterKernel::Simd4,
+            RasterKernel::Auto => match std::env::var("MS_RASTER_KERNEL") {
+                Err(_) => RasterKernel::Simd4,
+                Ok(v) => match v.to_ascii_lowercase().as_str() {
+                    "scalar" => RasterKernel::Scalar,
+                    "simd4" | "" => RasterKernel::Simd4,
+                    other => panic!("MS_RASTER_KERNEL={other:?}: expected \"scalar\" or \"simd4\""),
+                },
+            },
+        }
     }
 
     /// The worker count the Raster stage will actually use: `threads`
@@ -272,6 +329,32 @@ mod tests {
         RenderOptions::with_tile_merging().validate().unwrap();
         assert!(RenderOptions::with_tile_merging().merge_enabled());
         assert!(!RenderOptions::default().merge_enabled());
+    }
+
+    #[test]
+    fn kernel_resolution() {
+        // Pinned kernels resolve to themselves regardless of environment.
+        let o = RenderOptions {
+            raster_kernel: RasterKernel::Scalar,
+            ..RenderOptions::default()
+        };
+        assert_eq!(o.resolved_kernel(), RasterKernel::Scalar);
+        let o = RenderOptions {
+            raster_kernel: RasterKernel::Simd4,
+            ..RenderOptions::default()
+        };
+        assert_eq!(o.resolved_kernel(), RasterKernel::Simd4);
+        // Auto follows MS_RASTER_KERNEL when set (both values are
+        // bit-identical kernels, so a concurrent render observing the
+        // transient environment is unaffected), Simd4 otherwise.
+        let auto = RenderOptions::default();
+        assert_eq!(auto.raster_kernel, RasterKernel::Auto);
+        std::env::set_var("MS_RASTER_KERNEL", "scalar");
+        assert_eq!(auto.resolved_kernel(), RasterKernel::Scalar);
+        std::env::set_var("MS_RASTER_KERNEL", "SIMD4");
+        assert_eq!(auto.resolved_kernel(), RasterKernel::Simd4);
+        std::env::remove_var("MS_RASTER_KERNEL");
+        assert_eq!(auto.resolved_kernel(), RasterKernel::Simd4);
     }
 
     #[test]

@@ -64,6 +64,17 @@
 //! winner buffer are bit-identical to the unmerged render's for every
 //! thread count too. Merging changes scheduling, never pixels.
 //!
+//! The Raster stage has a third interchangeable axis: the compositing
+//! *kernel*. [`RenderOptions::raster_kernel`](crate::RenderOptions)
+//! selects between the scalar reference and the 4-lane SIMD kernel
+//! (`Auto`, the default, honors the `MS_RASTER_KERNEL` env var and
+//! otherwise picks SIMD). The seam sits inside a work unit, per group of
+//! four row pixels — full unmasked groups run the batched kernel,
+//! remainders and masked groups fall back to the scalar one — and the
+//! kernels are bit-identical by construction (see `raster.rs` and the
+//! "SIMD raster kernels" section of `ARCHITECTURE.md`), so kernel choice,
+//! like thread count and merging, changes wall time, never pixels.
+//!
 //! Each stage is a [`Stage`] implementation executed by a [`Profiler`],
 //! which records one [`StageSample`] per stage — wall time plus a
 //! stage-specific work counter — into the [`FrameProfile`] returned inside

@@ -6,14 +6,45 @@
 //! time and work counters land in [`RenderStats::profile`]. This module
 //! keeps the per-work-unit and per-pixel compositing kernels the Raster
 //! stage executes.
+//!
+//! # Scalar and SIMD kernels
+//!
+//! The per-tile compositing inner loop exists twice, selected by
+//! [`RenderOptions::raster_kernel`](crate::options::RasterKernel):
+//!
+//! * [`composite_pixel`] — the scalar reference: one pixel front-to-back
+//!   over its tile's depth-sorted CSR list.
+//! * [`composite_row4`] — four horizontally-adjacent pixels of one tile
+//!   row batched onto [`ms_math::simd`] lanes. Each CSR splat is broadcast
+//!   against the four pixel centers; admission (`alpha_min`), the
+//!   `alpha_max` clamp, color/transmittance/winner accumulation and the
+//!   `t < t_min` early-stop all happen per lane under a [`Mask4`], so a
+//!   lane that retires early freezes exactly where the scalar loop would
+//!   have `break`-ed.
+//!
+//! The two kernels are **bit-identical by construction**: every `f32`
+//! operation an admitted contribution executes — including association
+//! order inside the conic evaluation — is the same scalar op in the same
+//! order, just four pixels at a time (the lane ops in `ms_math::simd` are
+//! plain per-lane scalar ops, so there is no FMA contraction or vendor
+//! `min` quirk to diverge on). The one shortcut the SIMD kernel takes, the
+//! far-tail `exp` skip, is gated by a conservative threshold with enough
+//! margin that it provably only skips contributions the scalar kernel
+//! would have rejected (`alpha < alpha_min`) anyway — see
+//! [`splat_cull_data`], which also derives a conservative bounding box of
+//! the admission region so whole far-tail splats skip a 4-pixel group
+//! without any lane arithmetic. [`rasterize_unit`] drives full 4-pixel groups
+//! through the SIMD kernel and row remainders or masked-pixel gaps through
+//! the scalar one, so any pixel mix still composes to the scalar frame.
 
 use crate::binning::{SuperTile, TileBins};
-use crate::options::{RenderOptions, SortMode};
+use crate::options::{RasterKernel, RenderOptions, SortMode};
 use crate::pipeline::{
     BinStage, CompositeStage, Composited, MergeStage, Profiler, ProjectStage, RasterStage,
 };
 use crate::projection::ProjectedSplat;
 use crate::stats::{RenderStats, TileGridDims};
+use ms_math::simd::{F32x4, Mask4, U32x4};
 use ms_math::Vec2;
 use ms_scene::{Camera, GaussianModel};
 
@@ -317,12 +348,26 @@ pub(crate) fn rasterize_unit(
     let y_end = (unit.ty1 as u64 * ts as u64).min(camera.height as u64) as u32;
     let (unit_w, unit_h) = (x_end - x_start, y_end - y_start);
     let mut pixels = vec![options.background; (unit_w * unit_h) as usize];
-    let mut winners = vec![u32::MAX; (unit_w * unit_h) as usize];
-    let mut blend_steps = 0u64;
     let track = options.track_point_stats;
+    // The winner buffer is only consumed by the Composite merge when point
+    // statistics are on; without them it used to be a dead image-sized
+    // allocation per work unit.
+    let mut winners = if track {
+        vec![u32::MAX; (unit_w * unit_h) as usize]
+    } else {
+        Vec::new()
+    };
+    let mut blend_steps = 0u64;
+    let simd =
+        options.sort_mode == SortMode::PerTile && options.resolved_kernel() == RasterKernel::Simd4;
 
     // Scratch buffer for the per-pixel sort mode.
     let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
+    // Scratch buffers for the SIMD kernel: per-(tile, splat) admission
+    // culls, filled once per tile, and the staged splat sequence of the
+    // current tile row, rebuilt per row and streamed by its pixel groups.
+    let mut culls: Vec<SplatCull> = Vec::new();
+    let mut row: Vec<RowSplat> = Vec::new();
 
     for ty in unit.ty0..unit.ty1 {
         for tx in unit.tx0..unit.tx1 {
@@ -334,34 +379,71 @@ pub(crate) fn rasterize_unit(
             let tx_end = (tx_start as u64 + ts as u64).min(camera.width as u64) as u32;
             let ty_start = ty * ts;
             let ty_end = (ty_start as u64 + ts as u64).min(camera.height as u64) as u32;
+            if simd {
+                splat_cull_data(options, splats, list, &mut culls);
+            }
             for y in ty_start..ty_end {
-                for x in tx_start..tx_end {
-                    if let Some(mask) = mask {
-                        if !mask[(y * camera.width + x) as usize] {
-                            continue;
+                if simd {
+                    stage_row(
+                        splats,
+                        list,
+                        &culls,
+                        y as f32 + 0.5,
+                        tx_start as f32 + 0.5,
+                        (tx_end - 1) as f32 + 0.5,
+                        &mut row,
+                    );
+                }
+                let mut x = tx_start;
+                while x < tx_end {
+                    // Full 4-pixel groups with no masked-out gap take the
+                    // SIMD kernel; remainders and gapped groups run the
+                    // scalar kernel pixel by pixel (bit-identical, so the
+                    // grouping never shows in the output).
+                    let group = (tx_end - x).min(4);
+                    let whole = group == 4
+                        && mask.map_or(true, |m| {
+                            let base = (y * camera.width + x) as usize;
+                            m[base] && m[base + 1] && m[base + 2] && m[base + 3]
+                        });
+                    if simd && whole {
+                        let px_x = F32x4::new(
+                            x as f32 + 0.5,
+                            (x + 1) as f32 + 0.5,
+                            (x + 2) as f32 + 0.5,
+                            (x + 3) as f32 + 0.5,
+                        );
+                        let (colors, group_winners, steps) = composite_row4(options, &row, px_x);
+                        let out_idx = ((y - y_start) * unit_w + (x - x_start)) as usize;
+                        pixels[out_idx..out_idx + 4].copy_from_slice(&colors);
+                        if track {
+                            winners[out_idx..out_idx + 4].copy_from_slice(&group_winners);
                         }
+                        blend_steps += steps;
+                        x += 4;
+                        continue;
                     }
-                    let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
-                    let out_idx = ((y - y_start) * unit_w + (x - x_start)) as usize;
-                    match options.sort_mode {
-                        SortMode::PerTile => {
-                            let (color, winner, steps) = composite_pixel(options, splats, list, px);
-                            pixels[out_idx] = color;
-                            if track {
-                                winners[out_idx] = winner;
+                    for x in x..x + group {
+                        if let Some(mask) = mask {
+                            if !mask[(y * camera.width + x) as usize] {
+                                continue;
                             }
-                            blend_steps += steps;
                         }
-                        SortMode::PerPixel => {
-                            let (color, winner, steps) =
-                                composite_pixel_sorted(options, splats, list, px, &mut contribs);
-                            pixels[out_idx] = color;
-                            if track {
-                                winners[out_idx] = winner;
+                        let px = Vec2::new(x as f32 + 0.5, y as f32 + 0.5);
+                        let out_idx = ((y - y_start) * unit_w + (x - x_start)) as usize;
+                        let (color, winner, steps) = match options.sort_mode {
+                            SortMode::PerTile => composite_pixel(options, splats, list, px),
+                            SortMode::PerPixel => {
+                                composite_pixel_sorted(options, splats, list, px, &mut contribs)
                             }
-                            blend_steps += steps;
+                        };
+                        pixels[out_idx] = color;
+                        if track {
+                            winners[out_idx] = winner;
                         }
+                        blend_steps += steps;
                     }
+                    x += group;
                 }
             }
         }
@@ -412,6 +494,321 @@ fn composite_pixel(
     (color, best, steps)
 }
 
+/// Margin subtracted from the admission log-threshold before the SIMD
+/// kernel may skip a lane's `exp`. The bound must absorb every rounding
+/// error in the comparison chain (`ln`, the division, `expf`, the opacity
+/// multiply — each within a few ulp, so relative error well under 1e-5),
+/// and `e^(1/16) ≈ 1.065` leaves four orders of magnitude of slack. A
+/// power of two, so the subtraction itself is exact for all reachable
+/// magnitudes of the threshold.
+const EXP_SKIP_MARGIN: f32 = 1.0 / 16.0;
+
+/// Relative + absolute inflation applied to the admission ellipse's
+/// bounding box so that `f32` rounding in its derivation (one multiply,
+/// one divide, one square root, one subtraction — each within a few ulp)
+/// can never shrink it below the true extent. A thousandth relatively and
+/// a whole pixel absolutely dwarf those errors at any magnitude a
+/// projected splat can reach.
+const CULL_BOX_RELATIVE_SLACK: f32 = 1.001;
+/// See [`CULL_BOX_RELATIVE_SLACK`].
+const CULL_BOX_ABSOLUTE_SLACK: f32 = 1.0;
+
+/// Per-splat admission-culling data for one tile list, precomputed once
+/// per raster unit by [`splat_cull_data`] and consumed by
+/// [`composite_row4`].
+#[derive(Debug, Clone, Copy)]
+struct SplatCull {
+    /// Lower bound on the Gaussian exponent below which admission
+    /// provably fails (so the `exp` call may be skipped per lane).
+    power_floor: f32,
+    /// Conservative pixel-space bounding box of the admission ellipse
+    /// `power ≥ power_floor`; pixels outside it provably fail admission,
+    /// so a whole 4-pixel group outside skips the splat without touching
+    /// any lane arithmetic. `x_lo > x_hi` encodes "always skip" (the splat
+    /// can never pass admission anywhere).
+    x_lo: f32,
+    /// See `x_lo`.
+    x_hi: f32,
+    /// Bounding-box rows, same contract as `x_lo`/`x_hi`.
+    y_lo: f32,
+    /// See `y_lo`.
+    y_hi: f32,
+}
+
+impl SplatCull {
+    /// Never skip anything — the exact per-lane path decides.
+    const EXACT: Self = Self {
+        power_floor: f32::NEG_INFINITY,
+        x_lo: f32::NEG_INFINITY,
+        x_hi: f32::INFINITY,
+        y_lo: f32::NEG_INFINITY,
+        y_hi: f32::INFINITY,
+    };
+}
+
+/// Per-splat admission culls: a lower bound on the Gaussian exponent below
+/// which a contribution **provably** fails the `alpha_min` admission test
+/// (letting [`composite_row4`] skip the dominant `exp` call per lane), plus
+/// a conservative bounding box of the region where admission is possible
+/// at all (letting it skip far-tail splats before any lane arithmetic).
+///
+/// For splat `s`, scalar admission computes
+/// `alpha = min(opacity · e^power, alpha_max)` and rejects `alpha <
+/// alpha_min`. Rearranged, rejection is certain when `power <
+/// ln(alpha_min / opacity)`; the stored floor subtracts
+/// [`EXP_SKIP_MARGIN`] so that even with worst-case `f32` rounding in
+/// `ln`, `/`, `expf` and the multiply, `power < power_floor` implies the
+/// scalar kernel computes `alpha < alpha_min` — the skip can never admit
+/// differently than the scalar path, which is what keeps the kernels
+/// bit-identical. Degenerate inputs degrade safely: `alpha_min == 0`
+/// yields `-∞` (never skip — scalar admits zero-alpha contributions),
+/// non-positive or NaN opacity yields `+∞`/NaN (always/never skip, both
+/// consistent with scalar admission), and NaN `power` compares false so it
+/// always takes the exact path.
+///
+/// The bounding box comes from the same floor: `power ≥ power_floor` is
+/// the ellipse `a·dx² + 2b·dx·dy + c·dy² ≤ r²` with `r² = -2·power_floor`,
+/// whose axis-aligned extents are `|dx| ≤ √(c·r²/det)`,
+/// `|dy| ≤ √(a·r²/det)` with `det = ac − b²`. Outside those extents
+/// (inflated by [`CULL_BOX_RELATIVE_SLACK`]/[`CULL_BOX_ABSOLUTE_SLACK`] to
+/// absorb the rounding of the derivation itself) `power < power_floor`
+/// holds for every pixel, so skipping the whole splat is exactly as safe
+/// as the per-lane floor test. The box is only used when the conic is
+/// positive definite (`a > 0`, `c > 0`, `det > 0`); any other shape —
+/// including NaNs — falls back to [`SplatCull::EXACT`]. An `r² ≤ 0` floor
+/// means admission is impossible everywhere (`opacity · e^margin ≤
+/// alpha_min`), encoded as an empty box.
+fn splat_cull_data(
+    o: &RenderOptions,
+    splats: &[ProjectedSplat],
+    list: &[u32],
+    out: &mut Vec<SplatCull>,
+) {
+    out.clear();
+    out.extend(list.iter().map(|&si| {
+        let s = &splats[si as usize];
+        let power_floor = (o.alpha_min / s.opacity).ln() - EXP_SKIP_MARGIN;
+        let r2 = -2.0 * power_floor;
+        if r2.is_nan() {
+            return SplatCull::EXACT;
+        }
+        if r2 <= 0.0 {
+            // Even `power = 0` (splat center) provably fails admission:
+            // the splat contributes nowhere, skip it everywhere.
+            return SplatCull {
+                power_floor,
+                x_lo: f32::INFINITY,
+                x_hi: f32::NEG_INFINITY,
+                y_lo: f32::INFINITY,
+                y_hi: f32::NEG_INFINITY,
+            };
+        }
+        let (a, b, c) = (s.conic.a, s.conic.b, s.conic.c);
+        let det = a * c - b * b;
+        if !(det > 0.0 && a > 0.0 && c > 0.0) {
+            // Not a positive-definite ellipse (or NaN): no finite
+            // admission region to bound — use the exact path, which is
+            // always correct.
+            return SplatCull {
+                power_floor,
+                ..SplatCull::EXACT
+            };
+        }
+        let hw_x = (c * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
+        let hw_y = (a * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
+        SplatCull {
+            power_floor,
+            x_lo: s.center.x - hw_x,
+            x_hi: s.center.x + hw_x,
+            y_lo: s.center.y - hw_y,
+            y_hi: s.center.y + hw_y,
+        }
+    }));
+}
+
+/// One depth-ordered splat of a tile row, staged by [`stage_row`]: the
+/// row-invariant conic terms are precomputed (with the scalar kernel's own
+/// association order, so they are the *same* `f32` values the scalar
+/// kernel would produce) and the fields the inner loop touches sit in one
+/// compact record, so the row's pixel groups stream a contiguous array
+/// instead of chasing the CSR list into the full splat table.
+#[derive(Debug, Clone, Copy)]
+struct RowSplat {
+    /// Splat center column.
+    center_x: f32,
+    /// `conic.a`.
+    a: f32,
+    /// `2.0 * conic.b` — the scalar kernel's own grouping.
+    b2: f32,
+    /// `py - center.y` for this row.
+    dy: f32,
+    /// `(conic.c * dy) * dy`, scalar association.
+    c_dy2: f32,
+    /// Admission floor on the Gaussian exponent (see [`SplatCull`]).
+    power_floor: f32,
+    /// Admission-box columns (see [`SplatCull`]).
+    x_lo: f32,
+    /// See `x_lo`.
+    x_hi: f32,
+    /// Splat opacity.
+    opacity: f32,
+    /// Splat color.
+    color: ms_math::Vec3,
+    /// Source point index (winner tracking).
+    point_index: u32,
+}
+
+/// Stage one tile row for [`composite_row4`]: walk the tile's depth-sorted
+/// CSR list once, drop every splat whose admission box provably misses the
+/// row (wrong rows entirely, or columns outside `[row_x_lo, row_x_hi]` —
+/// both exactly as safe as the per-lane floor test, see
+/// [`splat_cull_data`]), and gather the survivors' row-invariant terms.
+/// Depth order is preserved, so the groups composite the same admitted
+/// sequence the scalar kernel would.
+#[allow(clippy::too_many_arguments)]
+fn stage_row(
+    splats: &[ProjectedSplat],
+    list: &[u32],
+    culls: &[SplatCull],
+    py: f32,
+    row_x_lo: f32,
+    row_x_hi: f32,
+    out: &mut Vec<RowSplat>,
+) {
+    out.clear();
+    for (&si, cull) in list.iter().zip(culls) {
+        // NaN bounds compare false on every test — never dropped.
+        if py < cull.y_lo || py > cull.y_hi || row_x_hi < cull.x_lo || row_x_lo > cull.x_hi {
+            continue;
+        }
+        let s = &splats[si as usize];
+        let dy = py - s.center.y;
+        out.push(RowSplat {
+            center_x: s.center.x,
+            a: s.conic.a,
+            b2: 2.0 * s.conic.b,
+            dy,
+            c_dy2: (s.conic.c * dy) * dy,
+            power_floor: cull.power_floor,
+            x_lo: cull.x_lo,
+            x_hi: cull.x_hi,
+            opacity: s.opacity,
+            color: s.color,
+            point_index: s.point_index,
+        });
+    }
+}
+
+/// Composite four horizontally-adjacent pixels of one tile row
+/// front-to-back over the row's staged splat sequence — the 4-lane
+/// counterpart of [`composite_pixel`], bit-identical to running it on each
+/// pixel.
+///
+/// Lane `i` is the pixel centered at `(px_x.lane(i), py)` for the row
+/// `row` was staged for. Per splat, the conic is evaluated for all four
+/// lanes (same association order as
+/// `Conic2::mahalanobis_sq`/`gaussian_weight`, with the lane-invariant `y`
+/// terms staged once in scalar — identical values, not just close), then
+/// each lane independently runs the scalar admission/blend sequence under
+/// its activity mask. A lane retires exactly when the scalar loop would
+/// have `break`-ed (an *admitted* contribution pushed its transmittance
+/// below `t_min`); the group stops early once all four lanes retire.
+///
+/// Returns the four colors, the four winning point indices, and the total
+/// blend steps across the lanes.
+#[inline]
+fn composite_row4(
+    o: &RenderOptions,
+    row: &[RowSplat],
+    px_x: F32x4,
+) -> ([ms_math::Vec3; 4], [u32; 4], u64) {
+    let mut cr = F32x4::splat(0.0);
+    let mut cg = F32x4::splat(0.0);
+    let mut cb = F32x4::splat(0.0);
+    let mut t = F32x4::splat(1.0);
+    let mut best_w = F32x4::splat(0.0);
+    let mut best = U32x4::splat(u32::MAX);
+    // Per-lane step counters stay in `u32` lanes (a lane admits each list
+    // entry at most once and tile lists are indexed by `u32`, so they
+    // cannot wrap) and widen once on return.
+    let mut steps = U32x4::splat(0);
+    let mut active = Mask4::all_on();
+    let alpha_min = F32x4::splat(o.alpha_min);
+    let alpha_max = F32x4::splat(o.alpha_max);
+    let t_min = F32x4::splat(o.t_min);
+    let one = F32x4::splat(1.0);
+    let (gx_lo, gx_hi) = (px_x.lane(0), px_x.lane(3));
+
+    for s in row {
+        if !active.any() {
+            break;
+        }
+        // Whole-group cull: if all four pixel centers lie outside the
+        // splat's conservative admission box, every lane provably fails
+        // the `alpha_min` test — skip without touching lane arithmetic.
+        // NaN bounds compare false on every test, i.e. never skip.
+        if gx_hi < s.x_lo || gx_lo > s.x_hi {
+            continue;
+        }
+        // Mirror `Conic2::mahalanobis_sq` term by term: `a·dx·dx` and
+        // `(2b)·dx·dy` vary per lane; the lane-invariant `y` terms were
+        // staged once in scalar with the scalar kernel's association.
+        let dx = px_x - F32x4::splat(s.center_x);
+        let m = F32x4::splat(s.a) * dx * dx
+            + F32x4::splat(s.b2) * dx * F32x4::splat(s.dy)
+            + F32x4::splat(s.c_dy2);
+        let power = F32x4::splat(-0.5) * m;
+
+        // Lanes provably below the admission threshold skip the exp — the
+        // only transcendental in the loop (see `splat_cull_data` for
+        // why this cannot disagree with scalar admission). Everything
+        // around this block is straight-line lane arithmetic.
+        let need = active & !power.lt(F32x4::splat(s.power_floor));
+        if !need.any() {
+            continue;
+        }
+        let w = F32x4(std::array::from_fn(|l| {
+            if need.lane(l) {
+                // `Conic2::gaussian_weight`'s positive-power guard, per lane.
+                if power.lane(l) > 0.0 {
+                    1.0
+                } else {
+                    power.lane(l).exp()
+                }
+            } else {
+                0.0
+            }
+        }));
+        let alpha = (F32x4::splat(s.opacity) * w).min(alpha_max);
+        // Scalar admission is `!(alpha < alpha_min)` — keep the same
+        // comparison so NaN alphas are admitted exactly like the scalar
+        // kernel admits them.
+        let admit = need & !alpha.lt(alpha_min);
+        if !admit.any() {
+            continue;
+        }
+        steps = steps + admit.to_u32x4();
+        let wgt = t * alpha;
+        cr = admit.select(cr + F32x4::splat(s.color.x) * wgt, cr);
+        cg = admit.select(cg + F32x4::splat(s.color.y) * wgt, cg);
+        cb = admit.select(cb + F32x4::splat(s.color.z) * wgt, cb);
+        let won = admit & wgt.gt(best_w);
+        best_w = won.select(wgt, best_w);
+        best = won.select_u32(U32x4::splat(s.point_index), best);
+        t = admit.select(t * (one - alpha), t);
+        // The scalar loop checks `t < t_min` only after an *admitted*
+        // contribution — a lane that never admits anything never retires.
+        active = active & !(admit & t.lt(t_min));
+    }
+
+    let bg = o.background;
+    cr = cr + F32x4::splat(bg.x) * t;
+    cg = cg + F32x4::splat(bg.y) * t;
+    cb = cb + F32x4::splat(bg.z) * t;
+    let colors = std::array::from_fn(|l| ms_math::Vec3::new(cr.lane(l), cg.lane(l), cb.lane(l)));
+    (colors, best.to_array(), steps.wide_sum())
+}
+
 /// Per-pixel sorted compositing (StopThePop-style).
 ///
 /// Our splats retain only their center depth, so the per-pixel key is
@@ -436,7 +833,11 @@ fn composite_pixel_sorted(
         }
         contribs.push((s.depth, alpha, s.color, s.point_index));
     }
-    contribs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Stable sort on `total_cmp`: a total order (no NaN "equal to
+    // everything" escape hatch like the old `partial_cmp(..).unwrap_or
+    // (Equal)`), and identical to it for the non-NaN depths projection
+    // emits, so the output is unchanged.
+    contribs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut color = ms_math::Vec3::zero();
     let mut t = 1.0f32;
     let mut best_w = 0.0f32;
@@ -851,6 +1252,138 @@ mod tests {
             merged.stats.total_intersections
         );
         assert!(plain.stats.tile_unit.is_empty());
+    }
+
+    fn kernel_opts(kernel: RasterKernel) -> RenderOptions {
+        RenderOptions {
+            raster_kernel: kernel,
+            track_point_stats: true,
+            ..RenderOptions::default()
+        }
+    }
+
+    /// A small scene with overlap, occlusion and off-center splats so the
+    /// four lanes of a group genuinely diverge (different admission,
+    /// different early-stop depths).
+    fn divergent_model() -> GaussianModel {
+        solid_model(&[
+            (
+                Vec3::new(-0.6, 0.1, 0.0),
+                Vec3::splat(0.35),
+                0.97,
+                Vec3::new(1.0, 0.1, 0.0),
+            ),
+            (
+                Vec3::new(0.5, -0.2, 0.6),
+                Vec3::splat(0.2),
+                0.6,
+                Vec3::new(0.0, 1.0, 0.3),
+            ),
+            (
+                Vec3::new(0.1, 0.4, -0.7),
+                Vec3::splat(0.45),
+                0.99,
+                Vec3::new(0.2, 0.0, 1.0),
+            ),
+            (
+                Vec3::new(0.0, -0.5, 0.2),
+                Vec3::splat(0.15),
+                0.3,
+                Vec3::new(1.0, 1.0, 0.0),
+            ),
+        ])
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_bit_for_bit() {
+        // 97×61: not multiples of the tile size or the lane width, so both
+        // tile-edge remainders and ragged image edges are exercised.
+        let m = divergent_model();
+        let camera = cam(97, 61);
+        let scalar = Renderer::new(kernel_opts(RasterKernel::Scalar)).render(&m, &camera);
+        let simd = Renderer::new(kernel_opts(RasterKernel::Simd4)).render(&m, &camera);
+        assert_eq!(simd.image, scalar.image, "pixels must be bit-identical");
+        assert_eq!(simd.winners, scalar.winners);
+        assert_eq!(simd.stats.blend_steps, scalar.stats.blend_steps);
+        assert_eq!(simd.stats, scalar.stats);
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_under_mask_gaps() {
+        // A mask with holes inside 4-pixel groups forces the gap fallback.
+        let m = divergent_model();
+        let camera = cam(64, 48);
+        let mask: Vec<bool> = (0..(64 * 48)).map(|i| i % 5 != 2 && i % 11 != 0).collect();
+        let scalar = Renderer::new(kernel_opts(RasterKernel::Scalar)).render_masked(
+            &m,
+            &camera,
+            |_| true,
+            &mask,
+        );
+        let simd = Renderer::new(kernel_opts(RasterKernel::Simd4)).render_masked(
+            &m,
+            &camera,
+            |_| true,
+            &mask,
+        );
+        assert_eq!(simd.image, scalar.image);
+        assert_eq!(simd.winners, scalar.winners);
+        assert_eq!(simd.stats, scalar.stats);
+    }
+
+    #[test]
+    fn simd_kernel_handles_lane_divergent_early_stop() {
+        // A stack of near-opaque splats slightly offset from each other:
+        // adjacent pixels cross `t_min` after different splat counts, so
+        // lanes retire at different loop iterations.
+        let pts: Vec<(Vec3, Vec3, f32, Vec3)> = (0..24)
+            .map(|i| {
+                (
+                    Vec3::new(0.03 * i as f32 - 0.3, 0.02 * i as f32, i as f32 * 0.02),
+                    Vec3::splat(0.3),
+                    0.98,
+                    Vec3::new(1.0 / (i + 1) as f32, 0.5, 0.2),
+                )
+            })
+            .collect();
+        let m = solid_model(&pts);
+        let camera = cam(80, 64);
+        let scalar = Renderer::new(kernel_opts(RasterKernel::Scalar)).render(&m, &camera);
+        let simd = Renderer::new(kernel_opts(RasterKernel::Simd4)).render(&m, &camera);
+        assert_eq!(simd.image, scalar.image);
+        assert_eq!(simd.winners, scalar.winners);
+        assert_eq!(simd.stats.blend_steps, scalar.stats.blend_steps);
+    }
+
+    #[test]
+    fn per_pixel_sort_mode_ignores_kernel_selection() {
+        let m = divergent_model();
+        let camera = cam(64, 64);
+        let a = Renderer::new(RenderOptions {
+            sort_mode: SortMode::PerPixel,
+            raster_kernel: RasterKernel::Scalar,
+            ..RenderOptions::default()
+        })
+        .render(&m, &camera);
+        let b = Renderer::new(RenderOptions {
+            sort_mode: SortMode::PerPixel,
+            raster_kernel: RasterKernel::Simd4,
+            ..RenderOptions::default()
+        })
+        .render(&m, &camera);
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn winner_buffers_empty_without_point_stats() {
+        // Satellite regression: without point statistics the per-unit
+        // winner buffers (and the assembled output buffer) stay empty
+        // instead of allocating a dead image-sized vec per work unit.
+        let m = divergent_model();
+        let out = Renderer::default().render(&m, &cam(64, 64));
+        assert!(out.winners.is_empty());
+        let with = Renderer::new(RenderOptions::with_point_stats()).render(&m, &cam(64, 64));
+        assert_eq!(with.winners.len(), 64 * 64);
     }
 
     #[test]

@@ -9,8 +9,13 @@
 //! pixels and winners to the *unmerged* render of the same frame — merging
 //! regroups raster scheduling, never per-pixel work — and the merged
 //! configuration must itself be bit-identical across all thread counts.
+//!
+//! Kernel selection (`RenderOptions::raster_kernel`) adds the third axis:
+//! the 4-lane SIMD compositing kernel must produce the same frame, bit for
+//! bit, as the scalar reference kernel — on plain, masked and filtered
+//! renders, at every worker count, merged or not.
 
-use metasapiens::render::{RenderOptions, RenderOutput, Renderer, StageKind};
+use metasapiens::render::{RasterKernel, RenderOptions, RenderOutput, Renderer, StageKind};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 
@@ -256,6 +261,85 @@ fn merged_filtered_render_is_bit_identical_to_unmerged_across_threads() {
         let merged = Renderer::new(merge_opts(threads)).render_filtered(&s.model, &cam, admit);
         assert_bit_identical(&merged, &merged_serial, threads);
         assert_same_frame(&merged, &unmerged, "filtered");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raster kernels: the third determinism axis
+// ---------------------------------------------------------------------------
+
+fn kernel_opts(threads: usize, kernel: RasterKernel) -> RenderOptions {
+    RenderOptions {
+        raster_kernel: kernel,
+        ..opts(threads)
+    }
+}
+
+#[test]
+fn simd_kernel_is_bit_identical_to_scalar_across_threads() {
+    let s = scene();
+    let cam = camera(&s);
+    let scalar = Renderer::new(kernel_opts(1, RasterKernel::Scalar)).render(&s.model, &cam);
+    for threads in [1, 2, 3, 8, 0] {
+        let simd = Renderer::new(kernel_opts(threads, RasterKernel::Simd4)).render(&s.model, &cam);
+        assert_bit_identical(&simd, &scalar, threads);
+    }
+}
+
+#[test]
+fn simd_kernel_masked_and_filtered_match_scalar() {
+    let s = scene();
+    let cam = camera(&s);
+    let mask: Vec<bool> = (0..(cam.width * cam.height) as usize)
+        .map(|i| {
+            let (x, y) = (i as u32 % cam.width, i as u32 / cam.width);
+            x < cam.width / 2 || (x + y) % 7 == 0
+        })
+        .collect();
+    let admit = |i: usize| i % 3 != 1;
+    let scalar_masked = Renderer::new(kernel_opts(1, RasterKernel::Scalar)).render_masked(
+        &s.model,
+        &cam,
+        |_| true,
+        &mask,
+    );
+    let scalar_filtered =
+        Renderer::new(kernel_opts(1, RasterKernel::Scalar)).render_filtered(&s.model, &cam, admit);
+    for threads in [1, 3] {
+        let o = kernel_opts(threads, RasterKernel::Simd4);
+        let masked = Renderer::new(o.clone()).render_masked(&s.model, &cam, |_| true, &mask);
+        assert_bit_identical(&masked, &scalar_masked, threads);
+        let filtered = Renderer::new(o).render_filtered(&s.model, &cam, admit);
+        assert_bit_identical(&filtered, &scalar_filtered, threads);
+    }
+}
+
+#[test]
+fn merged_simd_kernel_matches_unmerged_scalar_across_threads() {
+    // Both axes at once: merged scheduling with the SIMD kernel must still
+    // reproduce the unmerged scalar reference frame.
+    let s = scene();
+    let cam = foveal_camera();
+    let scalar_unmerged =
+        Renderer::new(kernel_opts(1, RasterKernel::Scalar)).render(&s.model, &cam);
+    let simd_merged_serial = Renderer::new(RenderOptions {
+        raster_kernel: RasterKernel::Simd4,
+        ..merge_opts(1)
+    })
+    .render(&s.model, &cam);
+    assert_same_frame(
+        &simd_merged_serial,
+        &scalar_unmerged,
+        "simd4 merged, threads=1",
+    );
+    for threads in THREAD_COUNTS {
+        let simd_merged = Renderer::new(RenderOptions {
+            raster_kernel: RasterKernel::Simd4,
+            ..merge_opts(threads)
+        })
+        .render(&s.model, &cam);
+        assert_bit_identical(&simd_merged, &simd_merged_serial, threads);
+        assert_same_frame(&simd_merged, &scalar_unmerged, "simd4 merged");
     }
 }
 
