@@ -1,0 +1,226 @@
+//! Frame-server bench record: sustained throughput and frame-latency
+//! percentiles of the multi-session [`ms_serve::FrameServer`] against a
+//! serial one-frame-at-a-time baseline, swept over session counts on a
+//! dense and a foveated (tile-merging, pulled-back camera) workload.
+//! Prints a table and writes `BENCH_pr7.json` at the repo root (override
+//! the path with `MS_BENCH_OUT`).
+//!
+//! The speedup column divides server aggregate FPS by the serial
+//! baseline's; the record also captures `host_cores`, since pipelining
+//! can only beat the serial baseline when the pool has more than one
+//! worker to overlap stages on.
+
+use metasapiens::math::Vec3;
+use metasapiens::render::{RenderOptions, Renderer};
+use metasapiens::scene::dataset::TraceId;
+use metasapiens::scene::trajectory::{orbit, Trajectory};
+use metasapiens::scene::{Camera, GaussianModel};
+use ms_serve::{FrameServer, SessionConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ms_bench::print_table;
+
+fn getf(key: &str, default: f32) -> f32 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f32>().ok())
+        .unwrap_or(default)
+}
+
+/// One measured (scene, session-count) configuration.
+struct Row {
+    scene: &'static str,
+    sessions: usize,
+    frames_total: usize,
+    baseline_fps: f64,
+    server_fps: f64,
+    speedup: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    options: RenderOptions,
+    prototype: Camera,
+}
+
+/// Trajectory for session slot `i` (distinct orbits so sessions render
+/// different frames, like a real multi-viewer deployment).
+fn traj(slot: usize) -> Trajectory {
+    orbit(
+        Vec3::zero(),
+        9.0 + (slot % 6) as f32 * 1.2,
+        0.4 + (slot % 5) as f32 * 0.5,
+        5 + slot % 4,
+    )
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_secs_f64() * 1e3
+}
+
+/// Serial baseline: one plain `Renderer` per session, frames rendered
+/// strictly one after another (no pipelining, no sharing beyond the
+/// model). Returns aggregate FPS over the whole run.
+fn serial_baseline(model: &GaussianModel, w: &Workload, sessions: usize, frames: usize) -> f64 {
+    let start = Instant::now();
+    let mut total = 0usize;
+    for s in 0..sessions {
+        let renderer = Renderer::new(w.options.clone());
+        for cam in traj(s).cameras(&w.prototype, frames) {
+            let out = renderer.render(model, &cam);
+            std::hint::black_box(&out.image);
+            total += 1;
+        }
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_server(
+    model: &Arc<GaussianModel>,
+    w: &Workload,
+    sessions: usize,
+    frames: usize,
+) -> (f64, Vec<Duration>) {
+    let mut server = FrameServer::new(Arc::clone(model));
+    for s in 0..sessions {
+        server
+            .add_session(SessionConfig {
+                trajectory: traj(s),
+                prototype: w.prototype,
+                frame_count: frames,
+                options: w.options.clone(),
+                in_flight: 2,
+                ring_capacity: frames,
+            })
+            .expect("valid session config");
+    }
+    let results = server.run_to_completion();
+    let mut latencies: Vec<Duration> = results
+        .iter()
+        .flat_map(|(_, frames)| frames.iter().map(|f| f.latency))
+        .collect();
+    latencies.sort_unstable();
+    (server.report().aggregate_fps, latencies)
+}
+
+fn json_row(r: &Row) -> String {
+    format!(
+        "    {{\"scene\": \"{}\", \"sessions\": {}, \"frames_total\": {}, \"baseline_fps\": {:.2}, \"server_fps\": {:.2}, \"speedup\": {:.3}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}",
+        r.scene, r.sessions, r.frames_total, r.baseline_fps, r.server_fps, r.speedup, r.p50_ms, r.p99_ms
+    )
+}
+
+fn main() {
+    let scale = getf("MS_SCALE", 0.008);
+    let width = getf("MS_W", 160.0) as u32;
+    let height = getf("MS_H", 120.0) as u32;
+    let frames = getf("MS_FRAMES", 6.0) as usize;
+    let session_counts: Vec<usize> = std::env::var("MS_SESSIONS")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("MS_SESSIONS: comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 4, 16, 64]);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let scene = TraceId::by_name("room")
+        .unwrap()
+        .build_scene_with_scale(scale);
+    let model = Arc::new(scene.model.clone());
+    let dense_proto = Camera {
+        width,
+        height,
+        fovy: ms_math::deg_to_rad(74.0),
+        ..scene.train_cameras[0]
+    };
+    // Foveated-style workload: pulled-back view leaves a sparse periphery,
+    // which is what occupancy-driven tile merging coalesces.
+    let fov_proto = Camera::look_at(width, height, 60.0, Vec3::new(0.0, 0.0, 16.0), Vec3::zero());
+    let workloads = [
+        Workload {
+            name: "dense",
+            options: RenderOptions {
+                threads: 0,
+                ..RenderOptions::default()
+            },
+            prototype: dense_proto,
+        },
+        Workload {
+            name: "foveated",
+            options: RenderOptions {
+                threads: 0,
+                ..RenderOptions::with_tile_merging()
+            },
+            prototype: fov_proto,
+        },
+    ];
+
+    println!("== frame server bench: pipelined sessions vs serial baseline ==");
+    println!(
+        "scene room @ scale {scale}, {width}x{height}, {frames} frames/session, {host_cores} host cores\n"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in &workloads {
+        for &sessions in &session_counts {
+            let baseline_fps = serial_baseline(&model, w, sessions, frames);
+            let (server_fps, latencies) = run_server(&model, w, sessions, frames);
+            rows.push(Row {
+                scene: w.name,
+                sessions,
+                frames_total: sessions * frames,
+                baseline_fps,
+                server_fps,
+                speedup: server_fps / baseline_fps,
+                p50_ms: percentile_ms(&latencies, 50.0),
+                p99_ms: percentile_ms(&latencies, 99.0),
+            });
+        }
+    }
+
+    let headers = [
+        "scene",
+        "sessions",
+        "frames",
+        "baseline fps",
+        "server fps",
+        "speedup",
+        "p50 ms",
+        "p99 ms",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scene.to_string(),
+                r.sessions.to_string(),
+                r.frames_total.to_string(),
+                format!("{:.2}", r.baseline_fps),
+                format!("{:.2}", r.server_fps),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+            ]
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
+    let json_rows: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"frame_server\",\n  \"pr\": 7,\n  \"host_cores\": {host_cores},\n  \"config\": {{\"trace\": \"room\", \"scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames_per_session\": {frames}, \"in_flight\": 2}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench record");
+    println!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@
 //! | [`baselines`] (`ms-baselines`) | the seven baseline PBNR families |
 //! | [`gpu`] (`ms-gpu`) | mobile-GPU (Xavier) FPS model |
 //! | [`accel`] (`ms-accel`) | accelerator simulator (TM + IP) |
+//! | [`serve`] (`ms-serve`) | multi-session frame server, pipelined frames |
 //!
 //! The [`pipeline`] module builds the paper's three variants
 //! (MetaSapiens-H/M/L, §6) from a dense scene: efficiency-aware pruning +
@@ -47,6 +48,7 @@ pub use ms_hvs as hvs;
 pub use ms_math as math;
 pub use ms_render as render;
 pub use ms_scene as scene;
+pub use ms_serve as serve;
 pub use ms_train as train;
 
 pub mod eval;

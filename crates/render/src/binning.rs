@@ -20,8 +20,9 @@
 use crate::projection::ProjectedSplat;
 use crate::stats::TileGridDims;
 
-/// Below this splat count CSR pass 1 runs serially even when more workers
-/// are requested — the per-task overhead would exceed the counting work.
+/// Below this splat count per worker the CSR build (counting pass 1, the
+/// pass-2 scatter and the sorts) runs serially even when more workers are
+/// requested — the per-task overhead would exceed the work itself.
 /// Sharding never changes the output, only the wall time.
 const MIN_SPLATS_PER_SHARD: usize = 512;
 
@@ -66,12 +67,14 @@ impl TileBins {
         Self::build_with_threads(splats, grid, 1)
     }
 
-    /// [`TileBins::build`] with counting pass 1 and the per-tile depth sort
-    /// distributed over `threads` workers (`0` = all pool workers, like
-    /// [`RenderOptions::threads`](crate::RenderOptions)). Bit-identical to
-    /// the serial build for every thread count: per-worker count arrays
-    /// merge before the prefix sum, the scatter pass visits splats in model
-    /// order, and sort segments are disjoint.
+    /// [`TileBins::build`] with counting pass 1, the pass-2 scatter and the
+    /// per-tile depth sort distributed over `threads` workers (`0` = all
+    /// pool workers, like [`RenderOptions::threads`](crate::RenderOptions)).
+    /// Bit-identical to the serial build for every thread count: per-worker
+    /// count arrays merge before the prefix sum, the scatter gives each
+    /// worker cursor bases into disjoint per-tile slot ranges ordered by
+    /// shard index (so the segments still fill in model order), and sort
+    /// segments are disjoint.
     pub fn build_with_threads(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
@@ -100,8 +103,44 @@ impl TileBins {
     pub fn build_filtered_with_threads<F: FnMut(u32, u32) -> bool>(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
+        tile_active: F,
+        threads: usize,
+    ) -> Self {
+        Self::build_filtered_with_threads_into(
+            splats,
+            grid,
+            tile_active,
+            threads,
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    /// [`TileBins::build_with_threads`] reusing recycled CSR storage (see
+    /// [`TileBins::build_filtered_with_threads_into`]).
+    pub fn build_with_threads_into(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
+        threads: usize,
+        offsets: Vec<u32>,
+        indices: Vec<u32>,
+    ) -> Self {
+        Self::build_filtered_with_threads_into(splats, grid, |_, _| true, threads, offsets, indices)
+    }
+
+    /// [`TileBins::build_filtered_with_threads`] building into recycled
+    /// `offsets`/`indices` storage (from [`TileBins::into_buffers`], via a
+    /// [`FrameArena`](crate::FrameArena)) instead of allocating fresh
+    /// vectors per frame. Contents are rebuilt from scratch — only the
+    /// capacity is reused — so the result is identical to the allocating
+    /// builds.
+    pub fn build_filtered_with_threads_into<F: FnMut(u32, u32) -> bool>(
+        splats: &[ProjectedSplat],
+        grid: TileGridDims,
         mut tile_active: F,
         threads: usize,
+        mut offsets: Vec<u32>,
+        mut indices: Vec<u32>,
     ) -> Self {
         let tile_count = grid.tile_count();
         let active: Vec<bool> = (0..grid.tiles_y)
@@ -117,47 +156,89 @@ impl TileBins {
         let shards = threads.min(splats.len() / MIN_SPLATS_PER_SHARD).max(1);
 
         // Pass 1: count intersections per tile. Sharded over contiguous
-        // splat ranges, one count array per worker, merged below — exact
-        // integer counts, so the merge order cannot change the result.
+        // splat ranges, one count array per worker. The per-shard arrays
+        // are kept: pass 2 turns them into per-shard cursor bases.
         let mut parts = crate::par::shard_map(splats.len(), shards, |range| {
             let mut part = vec![0u32; tile_count];
             count_range(splats, range, grid.tiles_x, &active, &mut part);
             part
         });
-        let mut counts = parts.swap_remove(0);
-        for part in parts {
-            for (acc, c) in counts.iter_mut().zip(part) {
-                *acc = acc
-                    .checked_add(c)
-                    .expect("tile-intersection count overflows u32 CSR offsets");
-            }
-        }
 
-        // Exclusive prefix sum → CSR offsets.
-        let mut offsets = Vec::with_capacity(tile_count + 1);
+        // Exclusive prefix sum over the merged counts → CSR offsets. The
+        // merge sums exact integers, so shard count cannot change it.
+        offsets.clear();
+        offsets.reserve(tile_count + 1);
         let mut running = 0u32;
         offsets.push(0);
-        for &c in &counts {
-            running = running
-                .checked_add(c)
-                .expect("tile-intersection count overflows u32 CSR offsets");
+        for t in 0..tile_count {
+            for part in &parts {
+                running = running
+                    .checked_add(part[t])
+                    .expect("tile-intersection count overflows u32 CSR offsets");
+            }
             offsets.push(running);
         }
 
-        // Pass 2: scatter splat indices to their tile segments. Splats are
-        // visited in model order, so each segment is filled in submission
-        // order — the same order the nested-Vec layout produced. Serial: a
-        // single linear pass over the splats, cheap next to the sorts.
-        let mut indices = vec![0u32; running as usize];
-        let mut cursor: Vec<u32> = offsets[..tile_count].to_vec();
-        for (si, splat) in splats.iter().enumerate() {
-            for (tx, ty) in splat.tiles.iter() {
-                let idx = (ty * grid.tiles_x + tx) as usize;
-                if active[idx] {
-                    indices[cursor[idx] as usize] = si as u32;
-                    cursor[idx] += 1;
+        // Pass 2: scatter splat indices to their tile segments. Each shard
+        // walks the same contiguous splat range its pass-1 counts came
+        // from; its per-tile cursor starts at `offsets[t]` plus the counts
+        // of every earlier shard. Shard slot ranges per tile are therefore
+        // disjoint and ordered by shard index, and each shard fills its
+        // range in model order — so the concatenation is exactly the old
+        // serial walk's model-order fill, bit-identical for every shard
+        // count.
+        indices.clear();
+        indices.resize(running as usize, 0);
+        // Turn each shard's counts into its absolute start cursors.
+        let mut base = vec![0u32; tile_count];
+        for part in parts.iter_mut() {
+            for (t, c) in part.iter_mut().enumerate() {
+                let count = *c;
+                *c = offsets[t] + base[t];
+                base[t] += count;
+            }
+        }
+        if shards <= 1 {
+            let cursor = &mut parts[0];
+            for (si, splat) in splats.iter().enumerate() {
+                for (tx, ty) in splat.tiles.iter() {
+                    let idx = (ty * grid.tiles_x + tx) as usize;
+                    if active[idx] {
+                        indices[cursor[idx] as usize] = si as u32;
+                        cursor[idx] += 1;
+                    }
                 }
             }
+        } else {
+            // Shards write through a shared raw pointer; the slot sets are
+            // disjoint (argued above), so the writes cannot race.
+            struct IndexPtr(*mut u32);
+            unsafe impl Sync for IndexPtr {}
+            let out = IndexPtr(indices.as_mut_ptr());
+            let out = &out;
+            let active = &active;
+            rayon::scope(|s| {
+                for (w, mut cursor) in parts.into_iter().enumerate() {
+                    s.spawn(move |_| {
+                        let range = crate::par::shard_range(splats.len(), shards, w);
+                        let start = range.start;
+                        for (off, splat) in splats[range].iter().enumerate() {
+                            for (tx, ty) in splat.tiles.iter() {
+                                let idx = (ty * grid.tiles_x + tx) as usize;
+                                if active[idx] {
+                                    // SAFETY: `cursor[idx]` stays inside this
+                                    // shard's slot range for tile `idx`,
+                                    // disjoint from every other shard's.
+                                    unsafe {
+                                        *out.0.add(cursor[idx] as usize) = (start + off) as u32;
+                                    }
+                                    cursor[idx] += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
         }
 
         // Depth-sort each tile segment front-to-back. `sort_by` is stable,
@@ -326,6 +407,13 @@ impl TileBins {
     /// Total tile-ellipse intersections.
     pub fn total_intersections(&self) -> u64 {
         self.indices.len() as u64
+    }
+
+    /// Tear the CSR arrays out of the bins so a recycled
+    /// [`FrameArena`](crate::FrameArena) can hand their capacity to the
+    /// next frame's build; contents are rebuilt from scratch there.
+    pub fn into_buffers(self) -> (Vec<u32>, Vec<u32>) {
+        (self.offsets, self.indices)
     }
 }
 

@@ -1,0 +1,402 @@
+//! Resumable frames: [`FrameInFlight`] runs the staged pipeline one stage
+//! at a time, and [`FrameArena`] recycles a frame's scratch buffers into
+//! the next one.
+//!
+//! [`Renderer::render`](crate::Renderer::render) executes a frame as one
+//! synchronous call. A frame *server* (the `ms_serve` crate) instead wants
+//! many frames **in flight at once** — Project/Bin of one session's next
+//! frame overlapping Raster/Composite of another's — which requires the
+//! pipeline to be suspendable between stages. [`Renderer::begin_frame`]
+//! returns a [`FrameInFlight`]: a self-contained state machine that owns
+//! the frame's camera and intermediate buffers and advances exactly one
+//! stage per [`run_stage`](FrameInFlight::run_stage) call. The stage
+//! sequence, stage inputs, and profiling are byte-for-byte the ones the
+//! monolithic path runs — `render` itself is implemented on top of this
+//! machine — so a frame's output is bit-identical no matter how its stages
+//! were interleaved with other frames'.
+//!
+//! [`FrameArena`] holds the three large per-frame allocations (the
+//! projected-splat vector and the CSR offset/index buffers). A finished
+//! frame returns its arena from [`FrameInFlight::finish`]; handing it to
+//! the next [`begin_frame`](crate::Renderer::begin_frame) turns the
+//! steady-state per-frame cost into buffer reuse instead of allocation.
+//! Buffers are cleared before reuse, so arenas never leak data between
+//! frames (or sessions) and `FrameArena::default()` is always a valid
+//! cold start.
+
+use crate::binning::{MergedTileSchedule, TileBins};
+use crate::pipeline::{
+    BinStage, CompositeStage, Composited, MergeStage, Profiler, ProjectStage, RasterStage,
+    StageKind,
+};
+use crate::projection::ProjectedSplat;
+use crate::raster::{RenderOutput, Renderer, UnitResult};
+use crate::stats::TileGridDims;
+use ms_scene::{Camera, GaussianModel};
+
+/// Recyclable scratch storage for one frame: the projected-splat vector and
+/// the CSR `(offsets, indices)` buffers. Returned by
+/// [`FrameInFlight::finish`] with contents cleared (capacity retained) and
+/// accepted by [`Renderer::begin_frame`]; `FrameArena::default()` is a
+/// valid cold start that simply allocates on first use.
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    pub(crate) splats: Vec<ProjectedSplat>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) indices: Vec<u32>,
+}
+
+/// Admission predicate of the unfiltered pipeline, as a named `fn` so
+/// [`FrameInFlight`] has a concrete (non-closure) `ProjectStage` type.
+fn admit_all(_point: usize) -> bool {
+    true
+}
+
+/// Where a [`FrameInFlight`] is in the Project → Bin → Merge → Raster →
+/// Composite pipeline, carrying the intermediates produced so far.
+enum State {
+    /// Nothing ran yet; holds the recycled arena.
+    Project { arena: FrameArena },
+    /// Project done.
+    Bin {
+        splats: Vec<ProjectedSplat>,
+        recycle: (Vec<u32>, Vec<u32>),
+    },
+    /// Bin done.
+    Merge {
+        splats: Vec<ProjectedSplat>,
+        bins: TileBins,
+    },
+    /// Merge done.
+    Raster {
+        splats: Vec<ProjectedSplat>,
+        bins: TileBins,
+        schedule: MergedTileSchedule,
+    },
+    /// Raster done.
+    Composite {
+        splats: Vec<ProjectedSplat>,
+        bins: TileBins,
+        schedule: MergedTileSchedule,
+        units: Vec<UnitResult>,
+    },
+    /// Composite done; [`FrameInFlight::finish`] assembles the output.
+    Done {
+        splats: Vec<ProjectedSplat>,
+        bins: TileBins,
+        schedule: MergedTileSchedule,
+        composited: Composited,
+    },
+    /// A stage panicked mid-transition (the state was taken and never put
+    /// back). Any further use of the frame is a bug.
+    Poisoned,
+}
+
+/// A frame suspended between pipeline stages.
+///
+/// Created by [`Renderer::begin_frame`]; driven by repeated
+/// [`run_stage`](FrameInFlight::run_stage) calls (each executes exactly one
+/// stage) and consumed by [`finish`](FrameInFlight::finish) once done. The
+/// frame owns its camera and every intermediate buffer, so independent
+/// frames — of one session or many — can be advanced in any interleaving,
+/// including concurrently from worker-pool tasks (`FrameInFlight` is
+/// `Send`): the output is bit-identical to
+/// [`Renderer::render`](crate::Renderer::render) on the same model and
+/// camera by construction, because `render` runs this exact machine to
+/// completion.
+pub struct FrameInFlight {
+    camera: Camera,
+    model_len: usize,
+    profiler: Profiler,
+    state: State,
+}
+
+impl std::fmt::Debug for FrameInFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameInFlight")
+            .field(
+                "camera",
+                &format_args!("{}x{}", self.camera.width, self.camera.height),
+            )
+            .field("model_len", &self.model_len)
+            .field("next_stage", &self.next_stage())
+            .finish()
+    }
+}
+
+impl FrameInFlight {
+    /// Start a frame at the Project stage. Callers go through
+    /// [`Renderer::begin_frame`], which performs the camera checks first.
+    pub(crate) fn new(camera: Camera, model_len: usize, arena: FrameArena) -> Self {
+        Self {
+            camera,
+            model_len,
+            profiler: Profiler::default(),
+            state: State::Project { arena },
+        }
+    }
+
+    /// The camera this frame renders.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Whether every stage has run ([`finish`](Self::finish) is ready).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done { .. })
+    }
+
+    /// The stage the next [`run_stage`](Self::run_stage) call will execute,
+    /// or `None` once the frame is done.
+    pub fn next_stage(&self) -> Option<StageKind> {
+        match self.state {
+            State::Project { .. } => Some(StageKind::Project),
+            State::Bin { .. } => Some(StageKind::Bin),
+            State::Merge { .. } => Some(StageKind::Merge),
+            State::Raster { .. } => Some(StageKind::Raster),
+            State::Composite { .. } => Some(StageKind::Composite),
+            State::Done { .. } => None,
+            State::Poisoned => panic!("frame poisoned by an earlier stage panic"),
+        }
+    }
+
+    /// Execute the next pipeline stage; returns `true` once the frame is
+    /// done. `renderer` and `model` must be the ones the frame was begun
+    /// with — the frame carries no back-references so it can be `Send` and
+    /// self-contained, and the frame server guarantees the pairing by
+    /// owning both.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a finished or poisoned frame, or (debug only)
+    /// when `model` has a different length than at
+    /// [`Renderer::begin_frame`].
+    pub fn run_stage(&mut self, renderer: &Renderer, model: &GaussianModel) -> bool {
+        let options = renderer.options();
+        self.state = match std::mem::replace(&mut self.state, State::Poisoned) {
+            State::Project { arena } => {
+                debug_assert_eq!(
+                    model.len(),
+                    self.model_len,
+                    "model changed size since begin_frame"
+                );
+                let mut stage = ProjectStage {
+                    model,
+                    camera: &self.camera,
+                    options,
+                    admit: admit_all,
+                    recycle: arena.splats,
+                };
+                let splats = self.profiler.run(&mut stage, ());
+                State::Bin {
+                    splats,
+                    recycle: (arena.offsets, arena.indices),
+                }
+            }
+            State::Bin { splats, recycle } => {
+                let grid = TileGridDims::for_image(
+                    self.camera.width,
+                    self.camera.height,
+                    options.tile_size,
+                );
+                let mut stage = BinStage {
+                    splats: &splats,
+                    grid,
+                    mask: None,
+                    threads: options.resolved_threads(),
+                    recycle,
+                };
+                let bins = self.profiler.run(&mut stage, ());
+                State::Merge { splats, bins }
+            }
+            State::Merge { splats, bins } => {
+                let mut stage = MergeStage { options };
+                let schedule = self.profiler.run(&mut stage, &bins);
+                State::Raster {
+                    splats,
+                    bins,
+                    schedule,
+                }
+            }
+            State::Raster {
+                splats,
+                bins,
+                schedule,
+            } => {
+                let mut stage = RasterStage {
+                    splats: &splats,
+                    options,
+                    camera: &self.camera,
+                    mask: None,
+                };
+                let units = self.profiler.run(&mut stage, (&bins, &schedule));
+                State::Composite {
+                    splats,
+                    bins,
+                    schedule,
+                    units,
+                }
+            }
+            State::Composite {
+                splats,
+                bins,
+                schedule,
+                units,
+            } => {
+                let mut stage = CompositeStage {
+                    camera: &self.camera,
+                    options,
+                    track_winners: options.track_point_stats,
+                };
+                let composited = self.profiler.run(&mut stage, units);
+                State::Done {
+                    splats,
+                    bins,
+                    schedule,
+                    composited,
+                }
+            }
+            State::Done { .. } => panic!("run_stage called on a finished frame"),
+            State::Poisoned => panic!("frame poisoned by an earlier stage panic"),
+        };
+        self.is_done()
+    }
+
+    /// Consume the finished frame: assemble its [`RenderOutput`] (the same
+    /// statistics path the monolithic renderer uses) and return the cleared
+    /// [`FrameArena`] for the next frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`is_done`](Self::is_done) — drive the frame with
+    /// [`run_stage`](Self::run_stage) first.
+    pub fn finish(self, renderer: &Renderer) -> (RenderOutput, FrameArena) {
+        let State::Done {
+            mut splats,
+            bins,
+            schedule,
+            composited,
+        } = self.state
+        else {
+            panic!("finish called before the frame completed");
+        };
+        let output = crate::raster::assemble_output(
+            renderer.options(),
+            self.model_len,
+            &splats,
+            &bins,
+            &schedule,
+            composited,
+            self.profiler,
+        );
+        splats.clear();
+        let (mut offsets, mut indices) = bins.into_buffers();
+        offsets.clear();
+        indices.clear();
+        (
+            output,
+            FrameArena {
+                splats,
+                offsets,
+                indices,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_math::{Quat, Vec3};
+
+    /// A small multi-splat scene that exercises every stage (several tiles
+    /// occupied, overlapping depths).
+    fn scene() -> (GaussianModel, Camera) {
+        let mut m = GaussianModel::new(0);
+        for i in 0..40 {
+            let f = i as f32;
+            m.push_solid(
+                Vec3::new(
+                    (f * 0.13).sin() * 1.2,
+                    (f * 0.29).cos() * 0.9,
+                    f * 0.05 - 1.0,
+                ),
+                Vec3::splat(0.12 + 0.01 * (f * 0.7).sin().abs()),
+                Quat::identity(),
+                0.6,
+                Vec3::new(f / 40.0, 1.0 - f / 40.0, 0.5),
+            );
+        }
+        let camera = Camera::look_at(64, 48, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero());
+        (m, camera)
+    }
+
+    #[test]
+    fn staged_frame_matches_monolithic_render() {
+        let (model, camera) = scene();
+        let options = crate::RenderOptions::with_point_stats();
+        let renderer = Renderer::new(options);
+        let reference = renderer.render(&model, &camera);
+
+        let mut frame = renderer.begin_frame(&model, &camera, FrameArena::default());
+        let expected = [
+            StageKind::Project,
+            StageKind::Bin,
+            StageKind::Merge,
+            StageKind::Raster,
+            StageKind::Composite,
+        ];
+        for (i, kind) in expected.iter().enumerate() {
+            assert_eq!(frame.next_stage(), Some(*kind));
+            assert!(!frame.is_done());
+            let done = frame.run_stage(&renderer, &model);
+            assert_eq!(done, i + 1 == expected.len());
+        }
+        assert_eq!(frame.next_stage(), None);
+        let (output, arena) = frame.finish(&renderer);
+        assert_eq!(output, reference);
+        // The recycled arena comes back cleared but with capacity.
+        assert!(arena.splats.is_empty());
+        assert!(arena.offsets.is_empty());
+        assert!(arena.indices.is_empty());
+        assert!(arena.splats.capacity() > 0);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        let (model, camera) = scene();
+        let renderer = Renderer::new(crate::RenderOptions::with_tile_merging());
+        let (first, arena) = renderer.render_with_arena(&model, &camera, FrameArena::default());
+        let (second, _) = renderer.render_with_arena(&model, &camera, arena);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called before the frame completed")]
+    fn finish_before_done_panics() {
+        let (model, camera) = scene();
+        let renderer = Renderer::default();
+        let mut frame = renderer.begin_frame(&model, &camera, FrameArena::default());
+        frame.run_stage(&renderer, &model);
+        frame.finish(&renderer);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_stage called on a finished frame")]
+    fn run_stage_after_done_panics() {
+        let (model, camera) = scene();
+        let renderer = Renderer::default();
+        let mut frame = renderer.begin_frame(&model, &camera, FrameArena::default());
+        while !frame.run_stage(&renderer, &model) {}
+        frame.run_stage(&renderer, &model);
+    }
+
+    /// `FrameInFlight` must stay `Send` — the frame server moves frames
+    /// into worker-pool tasks.
+    #[test]
+    fn frame_in_flight_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FrameInFlight>();
+        assert_send::<FrameArena>();
+    }
+}

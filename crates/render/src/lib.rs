@@ -40,6 +40,7 @@
 #![deny(missing_docs)]
 
 mod binning;
+mod frame;
 mod image;
 mod options;
 mod par;
@@ -49,6 +50,7 @@ mod raster;
 mod stats;
 
 pub use binning::{MergedTileSchedule, SuperTile, TileBins};
+pub use frame::{FrameArena, FrameInFlight};
 pub use image::Image;
 pub use options::{RasterKernel, RenderOptions, SortMode};
 pub use pipeline::{FrameProfile, Profiler, Stage, StageKind, StageSample};

@@ -3,6 +3,18 @@
 use std::ops::Range;
 use std::sync::Mutex;
 
+/// The contiguous range shard `w` of `shards` covers in `0..n` — the exact
+/// split [`shard_map`] uses, exposed so a second pass over the same items
+/// (the CSR scatter) can walk the ranges its per-shard pass-1 results were
+/// built from.
+pub(crate) fn shard_range(n: usize, shards: usize, w: usize) -> Range<usize> {
+    if shards <= 1 {
+        return 0..n;
+    }
+    let chunk = n.div_ceil(shards).max(1);
+    (w * chunk).min(n)..((w + 1) * chunk).min(n)
+}
+
 /// Split `0..n` into `shards` contiguous ranges, run `f` over each on the
 /// worker pool, and return the per-shard results **in range order** — the
 /// property the deterministic concatenation/merge steps of Project and Bin
@@ -19,15 +31,12 @@ where
     if shards <= 1 {
         return vec![f(0..n)];
     }
-    let chunk = n.div_ceil(shards).max(1);
     let slots: Vec<Mutex<Option<T>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let f = &f;
     rayon::scope(|s| {
         for (w, slot) in slots.iter().enumerate() {
             s.spawn(move |_| {
-                let start = (w * chunk).min(n);
-                let end = ((w + 1) * chunk).min(n);
-                *slot.lock().expect("shard slot poisoned") = Some(f(start..end));
+                *slot.lock().expect("shard slot poisoned") = Some(f(shard_range(n, shards, w)));
             });
         }
     });
@@ -61,6 +70,21 @@ mod tests {
                     expect_start = r.end;
                 }
                 assert_eq!(expect_start, n, "n={n} shards={shards} must cover 0..n");
+            }
+        }
+    }
+
+    /// `shard_range` must reproduce exactly the ranges `shard_map` hands
+    /// its closure — the CSR scatter relies on walking the same splat
+    /// ranges its pass-1 counts came from.
+    #[test]
+    fn shard_range_matches_shard_map() {
+        for n in [0usize, 1, 5, 513, 1000] {
+            for shards in [1usize, 2, 3, 16, 2000] {
+                let ranges = shard_map(n, shards, |r| r);
+                for (w, r) in ranges.iter().enumerate() {
+                    assert_eq!(*r, shard_range(n, shards, w), "n={n} shards={shards} w={w}");
+                }
             }
         }
     }

@@ -46,9 +46,11 @@
 //!   chunk outputs concatenate in chunk order, so splat order stays model
 //!   order.
 //! * **Bin** shards CSR pass 1 (counting) over contiguous splat ranges and
-//!   merges the per-worker count arrays before the prefix sum; the scatter
-//!   pass stays a serial walk in model order, and the per-tile depth sorts
-//!   run on disjoint segments.
+//!   merges the per-worker count arrays before the prefix sum; the pass-2
+//!   scatter re-walks the same ranges with per-worker cursor bases into
+//!   disjoint per-tile slot ranges (shard-ordered, so segments still fill
+//!   in model order), and the per-tile depth sorts run on disjoint
+//!   segments.
 //! * **Raster** distributes the Merge stage's work units over workers; each
 //!   unit result lands in its own slot and units are assembled in schedule
 //!   order.
@@ -109,7 +111,7 @@
 use crate::binning::{MergedTileSchedule, TileBins};
 use crate::image::Image;
 use crate::options::RenderOptions;
-use crate::projection::{project_model_filtered, ProjectedSplat};
+use crate::projection::{project_model_filtered_into, ProjectedSplat};
 use crate::raster::{rasterize_unit, UnitResult};
 use crate::stats::TileGridDims;
 use ms_scene::{Camera, GaussianModel};
@@ -298,6 +300,9 @@ pub struct ProjectStage<'a, F: Fn(usize) -> bool + Sync> {
     pub options: &'a RenderOptions,
     /// Per-point admission predicate (foveation Filtering).
     pub admit: F,
+    /// Recycled splat storage (from a [`FrameArena`](crate::FrameArena));
+    /// cleared before use, so only its capacity matters. Empty is fine.
+    pub recycle: Vec<ProjectedSplat>,
 }
 
 impl<F: Fn(usize) -> bool + Sync> Stage for ProjectStage<'_, F> {
@@ -309,7 +314,9 @@ impl<F: Fn(usize) -> bool + Sync> Stage for ProjectStage<'_, F> {
     }
 
     fn run(&mut self, _input: ()) -> Self::Out {
-        project_model_filtered(self.model, self.camera, self.options, &self.admit)
+        let mut out = std::mem::take(&mut self.recycle);
+        project_model_filtered_into(self.model, self.camera, self.options, &self.admit, &mut out);
+        out
     }
 
     fn items(&self, out: &Self::Out) -> u64 {
@@ -333,6 +340,10 @@ pub struct BinStage<'a> {
     pub mask: Option<&'a [bool]>,
     /// Worker count for the sharded CSR build (resolved, `>= 1`).
     pub threads: usize,
+    /// Recycled CSR `(offsets, indices)` storage (from
+    /// [`TileBins::into_buffers`] via a [`FrameArena`](crate::FrameArena));
+    /// rebuilt from scratch, so only its capacity matters. Empty is fine.
+    pub recycle: (Vec<u32>, Vec<u32>),
 }
 
 impl Stage for BinStage<'_> {
@@ -344,11 +355,18 @@ impl Stage for BinStage<'_> {
     }
 
     fn run(&mut self, _input: ()) -> Self::Out {
+        let (offsets, indices) = std::mem::take(&mut self.recycle);
         match self.mask {
-            None => TileBins::build_with_threads(self.splats, self.grid, self.threads),
+            None => TileBins::build_with_threads_into(
+                self.splats,
+                self.grid,
+                self.threads,
+                offsets,
+                indices,
+            ),
             Some(mask) => {
                 let g = self.grid;
-                TileBins::build_filtered_with_threads(
+                TileBins::build_filtered_with_threads_into(
                     self.splats,
                     g,
                     |tx, ty| {
@@ -364,6 +382,8 @@ impl Stage for BinStage<'_> {
                         false
                     },
                     self.threads,
+                    offsets,
+                    indices,
                 )
             }
         }

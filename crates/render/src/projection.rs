@@ -213,6 +213,24 @@ pub fn project_model_filtered<F: Fn(usize) -> bool + Sync>(
     options: &RenderOptions,
     admit: F,
 ) -> Vec<ProjectedSplat> {
+    let mut out = Vec::new();
+    project_model_filtered_into(model, camera, options, &admit, &mut out);
+    out
+}
+
+/// [`project_model_filtered`] appending into a caller-provided buffer
+/// (cleared first), so a recycled [`FrameArena`](crate::FrameArena) can
+/// reuse its splat storage across frames instead of allocating per frame.
+/// The projection arithmetic — and therefore the output — is identical to
+/// the allocating variant for every thread count.
+pub fn project_model_filtered_into<F: Fn(usize) -> bool + Sync>(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+    admit: &F,
+    out: &mut Vec<ProjectedSplat>,
+) {
+    out.clear();
     let ctx = FrameContext::new(model, camera, options);
     let n = model.len();
     let shards = options
@@ -222,21 +240,19 @@ pub fn project_model_filtered<F: Fn(usize) -> bool + Sync>(
 
     // One contiguous chunk per shard; results come back in shard order and
     // concatenate, preserving model order exactly. `shards == 1` runs
-    // inline without touching the pool.
+    // inline without touching the pool (and straight into `out`).
+    if shards <= 1 {
+        project_range(&ctx, model, camera, options, 0..n, admit, out);
+        return;
+    }
     let parts = crate::par::shard_map(n, shards, |range| {
         let mut part = Vec::with_capacity(range.len() / 2);
-        project_range(&ctx, model, camera, options, range, &admit, &mut part);
+        project_range(&ctx, model, camera, options, range, admit, &mut part);
         part
     });
-    match parts.len() {
-        1 => parts.into_iter().next().expect("one shard"),
-        _ => {
-            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-            for part in parts {
-                out.extend(part);
-            }
-            out
-        }
+    out.reserve(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        out.extend(part);
     }
 }
 

@@ -107,7 +107,66 @@ impl Renderer {
 
     /// Render `model` from `camera`.
     pub fn render(&self, model: &GaussianModel, camera: &Camera) -> RenderOutput {
-        self.render_filtered(model, camera, |_| true)
+        self.render_with_arena(model, camera, crate::FrameArena::default())
+            .0
+    }
+
+    /// [`Renderer::render`] through the resumable per-stage machinery
+    /// ([`Renderer::begin_frame`] + [`FrameInFlight::run_stage`]), reusing
+    /// `arena`'s scratch buffers instead of allocating per frame; returns
+    /// the output plus the recycled arena for the next frame. This *is*
+    /// `render` — `render` routes through it with a fresh arena — so the
+    /// output is bit-identical regardless of where the arena came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing.
+    ///
+    /// [`FrameInFlight::run_stage`]: crate::FrameInFlight::run_stage
+    pub fn render_with_arena(
+        &self,
+        model: &GaussianModel,
+        camera: &Camera,
+        arena: crate::FrameArena,
+    ) -> (RenderOutput, crate::FrameArena) {
+        let mut frame = self.begin_frame(model, camera, arena);
+        while !frame.run_stage(self, model) {}
+        frame.finish(self)
+    }
+
+    /// Start a resumable frame: the returned [`FrameInFlight`] owns the
+    /// frame's intermediate buffers and advances one pipeline stage per
+    /// [`run_stage`] call, so a scheduler (the `ms_serve` frame server) can
+    /// interleave the stages of many frames on the worker pool. `arena`
+    /// provides recycled scratch storage from a previous frame
+    /// ([`FrameInFlight::finish`] returns it); `FrameArena::default()` is a
+    /// valid cold start.
+    ///
+    /// Options were validated at [`Renderer::new`]; this per-frame entry
+    /// point only debug-asserts that invariant instead of re-validating on
+    /// the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing.
+    ///
+    /// [`FrameInFlight`]: crate::FrameInFlight
+    /// [`FrameInFlight::finish`]: crate::FrameInFlight::finish
+    /// [`run_stage`]: crate::FrameInFlight::run_stage
+    pub fn begin_frame(
+        &self,
+        model: &GaussianModel,
+        camera: &Camera,
+        arena: crate::FrameArena,
+    ) -> crate::FrameInFlight {
+        check_camera(camera);
+        debug_assert!(
+            self.options.validate().is_ok(),
+            "Renderer options invalidated after construction"
+        );
+        crate::FrameInFlight::new(*camera, model.len(), arena)
     }
 
     /// Render with a per-point admission predicate (the foveation Filtering
@@ -135,6 +194,7 @@ impl Renderer {
                 camera,
                 options: &self.options,
                 admit,
+                recycle: Vec::new(),
             },
             (),
         );
@@ -173,6 +233,7 @@ impl Renderer {
                 camera,
                 options: &self.options,
                 admit,
+                recycle: Vec::new(),
             },
             (),
         );
@@ -216,6 +277,7 @@ impl Renderer {
                 grid,
                 mask,
                 threads: self.options.resolved_threads(),
+                recycle: (Vec::new(), Vec::new()),
             },
             (),
         );
@@ -234,11 +296,7 @@ impl Renderer {
             },
             (&bins, &schedule),
         );
-        let Composited {
-            image,
-            winners,
-            blend_steps,
-        } = profiler.run(
+        let composited = profiler.run(
             &mut CompositeStage {
                 camera,
                 options: &self.options,
@@ -246,53 +304,81 @@ impl Renderer {
             },
             units,
         );
+        assemble_output(
+            &self.options,
+            model_len,
+            splats,
+            &bins,
+            &schedule,
+            composited,
+            profiler,
+        )
+    }
+}
 
-        let tile_intersections = bins.intersection_counts();
-        let total_intersections = bins.total_intersections();
-        // The per-tile → work-unit map is recorded only when occupancy
-        // merging actually ran; the identity band schedule reflects
-        // scheduling granularity, not a merge decision, and recording it
-        // would make the accelerator simulator treat whole bands as TMU
-        // output.
-        let tile_unit = if self.options.merge_enabled() {
-            schedule.tile_unit_map()
-        } else {
-            Vec::new()
-        };
-        let (point_tiles_used, point_pixels_dominated) = if track {
-            // Derived from the CSR bins so masked-out tiles do not count:
-            // every CSR index entry is one (tile, splat) intersection.
-            let mut tiles_used = vec![0u32; model_len];
-            for &si in bins.indices() {
-                tiles_used[splats[si as usize].point_index as usize] += 1;
-            }
-            let mut dominated = vec![0u32; model_len];
-            for &w in &winners {
-                if w != u32::MAX {
-                    dominated[w as usize] += 1;
-                }
-            }
-            (tiles_used, dominated)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-
-        RenderOutput {
-            image,
-            stats: RenderStats {
-                grid,
-                tile_intersections,
-                points_projected: splats.len(),
-                points_submitted: model_len,
-                total_intersections,
-                blend_steps,
-                point_tiles_used,
-                point_pixels_dominated,
-                tile_unit,
-                profile: profiler.finish(),
-            },
-            winners,
+/// Assemble the final [`RenderOutput`] from the pipeline's stage outputs —
+/// the shared tail of [`Renderer`]'s monolithic path and the resumable
+/// [`FrameInFlight`](crate::FrameInFlight) path, so both produce the exact
+/// same statistics by construction.
+pub(crate) fn assemble_output(
+    options: &RenderOptions,
+    model_len: usize,
+    splats: &[ProjectedSplat],
+    bins: &TileBins,
+    schedule: &crate::binning::MergedTileSchedule,
+    composited: Composited,
+    profiler: Profiler,
+) -> RenderOutput {
+    let Composited {
+        image,
+        winners,
+        blend_steps,
+    } = composited;
+    let tile_intersections = bins.intersection_counts();
+    let total_intersections = bins.total_intersections();
+    // The per-tile → work-unit map is recorded only when occupancy
+    // merging actually ran; the identity band schedule reflects
+    // scheduling granularity, not a merge decision, and recording it
+    // would make the accelerator simulator treat whole bands as TMU
+    // output.
+    let tile_unit = if options.merge_enabled() {
+        schedule.tile_unit_map()
+    } else {
+        Vec::new()
+    };
+    let (point_tiles_used, point_pixels_dominated) = if options.track_point_stats {
+        // Derived from the CSR bins so masked-out tiles do not count:
+        // every CSR index entry is one (tile, splat) intersection.
+        let mut tiles_used = vec![0u32; model_len];
+        for &si in bins.indices() {
+            tiles_used[splats[si as usize].point_index as usize] += 1;
         }
+        let mut dominated = vec![0u32; model_len];
+        for &w in &winners {
+            if w != u32::MAX {
+                dominated[w as usize] += 1;
+            }
+        }
+        (tiles_used, dominated)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    RenderOutput {
+        image,
+        stats: RenderStats {
+            grid: bins.grid(),
+            tile_intersections,
+            points_projected: splats.len(),
+            points_submitted: model_len,
+            total_intersections,
+            blend_steps,
+            point_tiles_used,
+            point_pixels_dominated,
+            tile_unit,
+            profile: profiler.finish(),
+        },
+        winners,
     }
 }
 

@@ -35,10 +35,21 @@ pub fn catmull_rom(keys: &[Vec3], t: f32) -> Vec3 {
     let s = (t.clamp(0.0, 1.0)) * segs;
     let i = (s.floor() as usize).min(keys.len() - 2);
     let u = s - i as f32;
-    let p0 = keys[i.saturating_sub(1)];
-    let p1 = keys[i];
-    let p2 = keys[i + 1];
-    let p3 = keys[(i + 2).min(keys.len() - 1)];
+    spline_segment(
+        keys[i.saturating_sub(1)],
+        keys[i],
+        keys[i + 1],
+        keys[(i + 2).min(keys.len() - 1)],
+        u,
+    )
+}
+
+/// One uniform Catmull–Rom segment between `p1` and `p2` at local parameter
+/// `u ∈ [0, 1]`, with `p0`/`p3` the neighboring control points. Factored out
+/// so [`Trajectory::sample`] can evaluate segments without materializing a
+/// control-point vector; the operation order is exactly [`catmull_rom`]'s,
+/// keeping the two paths bit-identical.
+fn spline_segment(p0: Vec3, p1: Vec3, p2: Vec3, p3: Vec3, u: f32) -> Vec3 {
     let u2 = u * u;
     let u3 = u2 * u;
     (p1 * 2.0
@@ -67,23 +78,61 @@ impl Trajectory {
         Self { keys, looped }
     }
 
-    /// Keyframes (closing key appended when looped).
-    fn effective_keys(&self) -> Vec<PoseKey> {
-        let mut keys = self.keys.clone();
-        if self.looped {
-            keys.push(self.keys[0]);
+    /// Number of control points including the implicit loop-closing key.
+    fn effective_len(&self) -> usize {
+        self.keys.len() + usize::from(self.looped)
+    }
+
+    /// Control point `i` of the effective (loop-closed) key sequence.
+    fn effective_key(&self, i: usize) -> PoseKey {
+        if i == self.keys.len() {
+            self.keys[0]
+        } else {
+            self.keys[i]
         }
-        keys
     }
 
     /// Pose at `t ∈ [0, 1]`.
+    ///
+    /// Allocation-free: the frame server samples a trajectory once per
+    /// admitted frame, so this must not clone the key list per call (the
+    /// original implementation materialized three temporary vectors). The
+    /// index math and `spline_segment` evaluation reproduce
+    /// [`catmull_rom`] over the loop-closed key sequence exactly, so the
+    /// rewrite is bit-identical to the old path.
     pub fn sample(&self, t: f32) -> PoseKey {
-        let keys = self.effective_keys();
-        let eyes: Vec<Vec3> = keys.iter().map(|k| k.eye).collect();
-        let targets: Vec<Vec3> = keys.iter().map(|k| k.target).collect();
+        let len = self.effective_len();
+        let segs = (len - 1) as f32;
+        let s = (t.clamp(0.0, 1.0)) * segs;
+        let i = (s.floor() as usize).min(len - 2);
+        let u = s - i as f32;
+        let k0 = self.effective_key(i.saturating_sub(1));
+        let k1 = self.effective_key(i);
+        let k2 = self.effective_key(i + 1);
+        let k3 = self.effective_key((i + 2).min(len - 1));
         PoseKey {
-            eye: catmull_rom(&eyes, t),
-            target: catmull_rom(&targets, t),
+            eye: spline_segment(k0.eye, k1.eye, k2.eye, k3.eye, u),
+            target: spline_segment(k0.target, k1.target, k2.target, k3.target, u),
+        }
+    }
+
+    /// Camera `i` of an `n`-pose densification — the single-frame form of
+    /// [`Trajectory::cameras`], so a frame server can derive any frame's
+    /// camera on demand without materializing the whole pose list.
+    /// `cameras(prototype, n)[i] == camera_at(prototype, i, n)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2` or `i >= n`.
+    pub fn camera_at(&self, prototype: &Camera, i: usize, n: usize) -> Camera {
+        assert!(n >= 2, "need at least two samples");
+        assert!(i < n, "frame index {i} out of range for {n} samples");
+        let t = i as f32 / (n - 1) as f32;
+        let pose = self.sample(t);
+        Camera {
+            eye: pose.eye,
+            target: pose.target,
+            ..*prototype
         }
     }
 
@@ -92,17 +141,7 @@ impl Trajectory {
     /// The paper's configuration is `n = 1_440` (16 s at 90 FPS).
     pub fn cameras(&self, prototype: &Camera, n: usize) -> Vec<Camera> {
         assert!(n >= 2, "need at least two samples");
-        (0..n)
-            .map(|i| {
-                let t = i as f32 / (n - 1) as f32;
-                let pose = self.sample(t);
-                Camera {
-                    eye: pose.eye,
-                    target: pose.target,
-                    ..*prototype
-                }
-            })
-            .collect()
+        (0..n).map(|i| self.camera_at(prototype, i, n)).collect()
     }
 
     /// Number of keyframes (excluding the implicit loop-closing key).

@@ -13,6 +13,13 @@
 //! Pool size is `RAYON_NUM_THREADS` when set (like upstream rayon), else
 //! `std::thread::available_parallelism()`.
 //!
+//! Queued work is keyed by originating scope and drained **round-robin
+//! across scopes** (FIFO within one scope): when several independent
+//! parallel regions are in flight at once — the multi-session frame
+//! server queues one region per frame stage — each gets an equal share of
+//! worker pulls instead of the first-queued region monopolizing the pool.
+//! For a single scope this degenerates to the previous plain FIFO.
+//!
 //! Semantics preserved from rayon:
 //! * `scope` returns only after every spawned task (including tasks spawned
 //!   from inside other tasks) has finished;
@@ -39,24 +46,74 @@ use std::time::Duration;
 /// stay valid for the task's whole execution.
 struct Job(Box<dyn FnOnce() + Send + 'static>);
 
+/// Per-scope FIFO queues drained round-robin.
+///
+/// A single global FIFO serves one scope's whole task list before the
+/// next scope's first task — fine when scopes arrive one at a time, but a
+/// multi-session frame server queues *independent* scopes concurrently
+/// (one per frame stage), and strict FIFO would let an early large frame
+/// starve every other session's frames. Keying queues by scope and
+/// rotating between them gives each in-flight scope an equal share of
+/// worker pulls, so concurrent frames make interleaved progress. Within
+/// one scope, FIFO order is preserved.
+struct Queues {
+    /// `(scope id, pending jobs)`, in scope arrival order. Invariant: no
+    /// deque is empty (drained scopes are removed eagerly).
+    queues: Vec<(u64, VecDeque<Job>)>,
+    /// Round-robin cursor into `queues`.
+    rr: usize,
+}
+
+impl Queues {
+    fn push(&mut self, scope_id: u64, job: Job) {
+        match self.queues.iter_mut().find(|(id, _)| *id == scope_id) {
+            Some((_, q)) => q.push_back(job),
+            None => self.queues.push((scope_id, VecDeque::from([job]))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        if self.queues.is_empty() {
+            self.rr = 0;
+            return None;
+        }
+        let i = self.rr % self.queues.len();
+        let job = self.queues[i]
+            .1
+            .pop_front()
+            .expect("empty scope queue violates the no-empty-deque invariant");
+        if self.queues[i].1.is_empty() {
+            self.queues.remove(i);
+            self.rr = if self.queues.is_empty() {
+                0
+            } else {
+                i % self.queues.len()
+            };
+        } else {
+            self.rr = (i + 1) % self.queues.len();
+        }
+        Some(job)
+    }
+}
+
 struct Pool {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<Queues>,
     /// Signaled when a job is pushed; workers block here when idle.
     jobs_cv: Condvar,
     workers: usize,
 }
 
 impl Pool {
-    fn push(&self, job: Job) {
+    fn push(&self, scope_id: u64, job: Job) {
         self.queue
             .lock()
             .expect("pool queue poisoned")
-            .push_back(job);
+            .push(scope_id, job);
         self.jobs_cv.notify_one();
     }
 
     fn try_pop(&self) -> Option<Job> {
-        self.queue.lock().expect("pool queue poisoned").pop_front()
+        self.queue.lock().expect("pool queue poisoned").pop()
     }
 }
 
@@ -65,7 +122,7 @@ fn worker_loop(pool: &'static Pool) {
         let job = {
             let mut q = pool.queue.lock().expect("pool queue poisoned");
             loop {
-                match q.pop_front() {
+                match q.pop() {
                     Some(job) => break job,
                     None => q = pool.jobs_cv.wait(q).expect("pool queue poisoned"),
                 }
@@ -94,7 +151,10 @@ fn pool() -> &'static Pool {
                 .unwrap_or(1)
         });
         let pool: &'static Pool = Box::leak(Box::new(Pool {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queues {
+                queues: Vec::new(),
+                rr: 0,
+            }),
             jobs_cv: Condvar::new(),
             workers,
         }));
@@ -115,6 +175,9 @@ fn pool() -> &'static Pool {
 /// Shared accounting for one `scope` call: outstanding task count plus the
 /// first panic payload (rayon also propagates one of possibly many).
 struct ScopeState {
+    /// Fair-scheduling key: this scope's queue in the pool's round-robin
+    /// queue set.
+    id: u64,
     sync: Mutex<ScopeSync>,
     done_cv: Condvar,
 }
@@ -126,7 +189,9 @@ struct ScopeSync {
 
 impl ScopeState {
     fn new() -> Self {
+        static NEXT_SCOPE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         Self {
+            id: NEXT_SCOPE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             sync: Mutex::new(ScopeSync {
                 pending: 0,
                 panic: None,
@@ -213,7 +278,7 @@ impl<'env> Scope<'env> {
         // The `'env` data it captures outlives its execution because the
         // owning `scope` call blocks until the task completes (see above).
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
-        pool().push(Job(job));
+        pool().push(self.state.id, Job(job));
     }
 }
 
@@ -443,6 +508,30 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn queues_round_robin_across_scopes() {
+        // Drive the queue set directly: three scopes with 3/2/1 jobs must
+        // drain interleaved, not scope-by-scope.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut queues = Queues {
+            queues: Vec::new(),
+            rr: 0,
+        };
+        for (scope_id, tag_count) in [(1u64, 3usize), (2, 2), (3, 1)] {
+            for _ in 0..tag_count {
+                let order = Arc::clone(&order);
+                queues.push(
+                    scope_id,
+                    Job(Box::new(move || order.lock().unwrap().push(scope_id))),
+                );
+            }
+        }
+        while let Some(job) = queues.pop() {
+            (job.0)();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 1, 2, 1]);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Determinism of the multi-session frame server: every session's frame
+//! stream must be **bit-identical** — pixels, winner buffers, stats and
+//! `FrameProfile` work counters — to a solo `Renderer` walking the same
+//! trajectory, no matter how many other sessions are in flight, how many
+//! pool workers exist, whether tile merging is on, and which raster kernel
+//! runs. Pipelining changes *when* a frame's stages execute, never their
+//! inputs.
+//!
+//! Also property-tests the trajectory sampler the server admits frames
+//! from: endpoint clamping, loop closure, per-index/batch agreement and
+//! monotonicity.
+
+use metasapiens::math::Vec3;
+use metasapiens::render::{RasterKernel, RenderOptions, RenderOutput, Renderer};
+use metasapiens::scene::dataset::TraceId;
+use metasapiens::scene::trajectory::{orbit, PoseKey, Trajectory};
+use metasapiens::scene::{Camera, GaussianModel};
+use ms_serve::{FrameServer, SessionConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Worker counts the suite runs the server under (0 = auto).
+const THREAD_COUNTS: [usize; 4] = [2, 3, 8, 0];
+/// Concurrency levels, up to the 16-session acceptance bar.
+const SESSION_COUNTS: [usize; 3] = [1, 4, 16];
+/// Frames per session. Small: the matrix multiplies fast.
+const FRAMES: usize = 4;
+/// Distinct trajectories; session `i` uses trajectory `i % DISTINCT_TRAJS`.
+const DISTINCT_TRAJS: usize = 6;
+
+fn model() -> Arc<GaussianModel> {
+    Arc::new(
+        TraceId::by_name("kitchen")
+            .unwrap()
+            .build_scene_with_scale(0.0012)
+            .model,
+    )
+}
+
+fn prototype() -> Camera {
+    let s = TraceId::by_name("kitchen")
+        .unwrap()
+        .build_scene_with_scale(0.0012);
+    Camera {
+        width: 48,
+        height: 36,
+        ..s.train_cameras[0]
+    }
+}
+
+/// Trajectory for session slot `i`: orbits of varying radius/height so
+/// sessions render genuinely different frames (a shared trajectory would
+/// let cross-session buffer mixups cancel out).
+fn trajectory(slot: usize) -> Trajectory {
+    let slot = slot % DISTINCT_TRAJS;
+    orbit(
+        Vec3::zero(),
+        8.0 + slot as f32 * 1.5,
+        0.5 + slot as f32 * 0.4,
+        5 + slot,
+    )
+}
+
+fn options(threads: usize, merged: bool, kernel: RasterKernel) -> RenderOptions {
+    let base = if merged {
+        RenderOptions::with_tile_merging()
+    } else {
+        RenderOptions::default()
+    };
+    RenderOptions {
+        threads,
+        track_point_stats: true,
+        raster_kernel: kernel,
+        ..base
+    }
+}
+
+/// Solo reference: a plain serial `Renderer` walking trajectory `slot`.
+fn solo_frames(slot: usize, merged: bool, kernel: RasterKernel) -> Vec<RenderOutput> {
+    let model = model();
+    let proto = prototype();
+    let renderer = Renderer::new(options(1, merged, kernel));
+    trajectory(slot)
+        .cameras(&proto, FRAMES)
+        .iter()
+        .map(|cam| renderer.render(&model, cam))
+        .collect()
+}
+
+/// Run `sessions` concurrent sessions at `threads` workers and assert every
+/// frame equals the solo reference bit for bit. `RenderOutput: PartialEq`
+/// covers pixels, winners and the full stats block (profile equality
+/// ignores wall times only).
+fn assert_server_matches_solo(sessions: usize, threads: usize, merged: bool, kernel: RasterKernel) {
+    let refs: Vec<Vec<RenderOutput>> = (0..DISTINCT_TRAJS.min(sessions))
+        .map(|slot| solo_frames(slot, merged, kernel))
+        .collect();
+
+    let mut server = FrameServer::new(model());
+    let proto = prototype();
+    let ids: Vec<_> = (0..sessions)
+        .map(|i| {
+            server
+                .add_session(SessionConfig {
+                    trajectory: trajectory(i),
+                    prototype: proto,
+                    frame_count: FRAMES,
+                    options: options(threads, merged, kernel),
+                    // Vary the pipelining window across sessions to
+                    // exercise different interleavings.
+                    in_flight: 1 + i % 3,
+                    ring_capacity: FRAMES,
+                })
+                .expect("valid session config")
+        })
+        .collect();
+
+    let results = server.run_to_completion();
+    assert_eq!(results.len(), sessions);
+    for (i, (id, frames)) in results.iter().enumerate() {
+        assert_eq!(*id, ids[i]);
+        assert_eq!(frames.len(), FRAMES, "session {i} frame count");
+        let expect = &refs[i % DISTINCT_TRAJS];
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.frame_index, k, "session {i} completion order");
+            assert_eq!(
+                frame.output, expect[k],
+                "session {i} frame {k} differs from solo render \
+                 (sessions={sessions} threads={threads} merged={merged} kernel={kernel:?})"
+            );
+        }
+    }
+
+    let report = server.report();
+    assert_eq!(report.total_frames, sessions * FRAMES);
+    for s in &report.sessions {
+        assert_eq!(s.frames_completed, FRAMES);
+        assert!(s.sustained_fps > 0.0);
+        assert!(s.latency_p99 >= s.latency_p50);
+    }
+}
+
+#[test]
+fn server_unmerged_scalar_matches_solo() {
+    for sessions in SESSION_COUNTS {
+        for threads in THREAD_COUNTS {
+            assert_server_matches_solo(sessions, threads, false, RasterKernel::Scalar);
+        }
+    }
+}
+
+#[test]
+fn server_unmerged_simd_matches_solo() {
+    for sessions in SESSION_COUNTS {
+        for threads in THREAD_COUNTS {
+            assert_server_matches_solo(sessions, threads, false, RasterKernel::Simd4);
+        }
+    }
+}
+
+#[test]
+fn server_merged_scalar_matches_solo() {
+    for sessions in SESSION_COUNTS {
+        for threads in THREAD_COUNTS {
+            assert_server_matches_solo(sessions, threads, true, RasterKernel::Scalar);
+        }
+    }
+}
+
+#[test]
+fn server_merged_simd_matches_solo() {
+    for sessions in SESSION_COUNTS {
+        for threads in THREAD_COUNTS {
+            assert_server_matches_solo(sessions, threads, true, RasterKernel::Simd4);
+        }
+    }
+}
+
+#[test]
+fn sessions_added_and_removed_mid_run_stay_deterministic() {
+    // A session that joins late or a neighbor that leaves mid-flight must
+    // not perturb anyone else's frames.
+    let refs: Vec<Vec<RenderOutput>> = (0..3)
+        .map(|slot| solo_frames(slot, false, RasterKernel::Scalar))
+        .collect();
+    let mut server = FrameServer::new(model());
+    let proto = prototype();
+    let mk = |slot: usize| SessionConfig {
+        trajectory: trajectory(slot),
+        prototype: proto,
+        frame_count: FRAMES,
+        options: options(3, false, RasterKernel::Scalar),
+        in_flight: 2,
+        ring_capacity: FRAMES,
+    };
+    let a = server.add_session(mk(0)).unwrap();
+    let b = server.add_session(mk(1)).unwrap();
+    server.step();
+    server.step();
+    // Session c joins while a and b are mid-flight; a is torn down with
+    // frames still in its window.
+    let c = server.add_session(mk(2)).unwrap();
+    server.remove_session(a).expect("a was live");
+    let results = server.run_to_completion();
+    let by_id: std::collections::HashMap<_, _> = results.into_iter().collect();
+    assert!(!by_id.contains_key(&a));
+    for (id, slot) in [(b, 1usize), (c, 2usize)] {
+        let frames = &by_id[&id];
+        assert_eq!(frames.len(), FRAMES);
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.output, refs[slot][k], "slot {slot} frame {k}");
+        }
+    }
+}
+
+#[test]
+fn backpressure_bounds_undrained_frames() {
+    let mut server = FrameServer::new(model());
+    let id = server
+        .add_session(SessionConfig {
+            trajectory: trajectory(0),
+            prototype: prototype(),
+            frame_count: 6,
+            options: options(2, false, RasterKernel::Scalar),
+            in_flight: 2,
+            ring_capacity: 2,
+        })
+        .unwrap();
+    // Nobody drains: the session must stall at ring_capacity completed
+    // frames, not run ahead.
+    for _ in 0..60 {
+        server.step();
+    }
+    assert!(!server.is_idle());
+    assert_eq!(server.session_stats(id).unwrap().frames_completed, 2);
+    // Draining releases the stall; the full stream still arrives in order.
+    let mut got = server.take_frames(id);
+    while !server.is_idle() {
+        server.step();
+        got.append(&mut server.take_frames(id));
+    }
+    got.append(&mut server.take_frames(id));
+    let indices: Vec<_> = got.iter().map(|f| f.frame_index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory sampler properties (the server's frame-admission source)
+// ---------------------------------------------------------------------------
+
+fn close(a: Vec3, b: Vec3, tol: f32) -> bool {
+    a.distance(b) <= tol
+}
+
+proptest! {
+    /// Out-of-range parameters clamp to the endpoints (non-looped).
+    #[test]
+    fn sample_clamps_to_endpoints(t in -3.0f32..4.0) {
+        let keys = vec![
+            PoseKey { eye: Vec3::new(0.0, 0.0, 0.0), target: Vec3::zero() },
+            PoseKey { eye: Vec3::new(1.0, 2.0, 0.0), target: Vec3::one() },
+            PoseKey { eye: Vec3::new(3.0, 1.0, -1.0), target: Vec3::zero() },
+        ];
+        let traj = Trajectory::new(keys, false);
+        let s = traj.sample(t);
+        let expect = traj.sample(t.clamp(0.0, 1.0));
+        prop_assert_eq!(s.eye, expect.eye);
+        prop_assert_eq!(s.target, expect.target);
+    }
+
+    /// A looped trajectory closes: sample(1) returns to sample(0) (within
+    /// f32 spline-evaluation noise — u=1 does not cancel exactly).
+    #[test]
+    fn looped_trajectory_closes(radius in 1.0f32..10.0, height in -2.0f32..2.0) {
+        let traj = orbit(Vec3::zero(), radius, height, 7);
+        let a = traj.sample(0.0);
+        let b = traj.sample(1.0);
+        prop_assert!(close(a.eye, b.eye, 1e-4 * radius.max(1.0)));
+        prop_assert!(close(a.target, b.target, 1e-4));
+    }
+
+    /// `camera_at` is exactly the batch densification, frame by frame —
+    /// the server admits single frames, solo renders walk the batch, and
+    /// determinism needs them bit-identical.
+    #[test]
+    fn camera_at_matches_batch_cameras(n in 2usize..40, looped_bit in 0usize..2) {
+        let looped = looped_bit == 1;
+        let keys = vec![
+            PoseKey { eye: Vec3::new(0.0, 1.0, 5.0), target: Vec3::zero() },
+            PoseKey { eye: Vec3::new(4.0, 1.5, 0.0), target: Vec3::new(0.5, 0.0, 0.0) },
+            PoseKey { eye: Vec3::new(0.0, 2.0, -5.0), target: Vec3::zero() },
+            PoseKey { eye: Vec3::new(-4.0, 0.5, 0.0), target: Vec3::new(0.0, 0.5, 0.0) },
+        ];
+        let traj = Trajectory::new(keys, looped);
+        let proto = Camera::look_at(64, 48, 60.0, Vec3::zero(), Vec3::one());
+        let batch = traj.cameras(&proto, n);
+        for (i, cam) in batch.iter().enumerate() {
+            let single = traj.camera_at(&proto, i, n);
+            prop_assert!(single.eye == cam.eye, "frame {} eye mismatch", i);
+            prop_assert!(single.target == cam.target, "frame {} target mismatch", i);
+            prop_assert_eq!(single.width, cam.width);
+            prop_assert_eq!(single.height, cam.height);
+        }
+    }
+
+    /// On equally spaced collinear keys, uniform Catmull–Rom degenerates
+    /// to linear interpolation, so the sampled eye must advance
+    /// monotonically with `t`.
+    #[test]
+    fn sample_is_monotone_on_collinear_keys(steps in 3usize..50) {
+        let keys: Vec<PoseKey> = (0..5)
+            .map(|i| PoseKey {
+                eye: Vec3::new(i as f32, 0.0, 0.0),
+                target: Vec3::zero(),
+            })
+            .collect();
+        let traj = Trajectory::new(keys, false);
+        let mut prev = traj.sample(0.0).eye.x;
+        for k in 1..=steps {
+            let t = k as f32 / steps as f32;
+            let x = traj.sample(t).eye.x;
+            prop_assert!(x >= prev - 1e-5, "t={} x={} prev={}", t, x, prev);
+            prev = x;
+        }
+        prop_assert!(close(traj.sample(0.0).eye, Vec3::zero(), 1e-6));
+        prop_assert!(close(traj.sample(1.0).eye, Vec3::new(4.0, 0.0, 0.0), 1e-4));
+    }
+}
