@@ -191,6 +191,7 @@ impl FoveatedRenderer {
                             }
                         })
                         .collect(),
+                    raster: s.profile.raster,
                 };
                 profile.absorb(&adjusted);
             } else {

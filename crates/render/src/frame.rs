@@ -15,14 +15,14 @@
 //! machine — so a frame's output is bit-identical no matter how its stages
 //! were interleaved with other frames'.
 //!
-//! [`FrameArena`] holds the three large per-frame allocations (the
-//! projected-splat vector and the CSR offset/index buffers). A finished
-//! frame returns its arena from [`FrameInFlight::finish`]; handing it to
-//! the next [`begin_frame`](crate::Renderer::begin_frame) turns the
-//! steady-state per-frame cost into buffer reuse instead of allocation.
-//! Buffers are cleared before reuse, so arenas never leak data between
-//! frames (or sessions) and `FrameArena::default()` is always a valid
-//! cold start.
+//! [`FrameArena`] holds the large per-frame allocations (the
+//! projected-splat vector, the CSR offset/index buffers, and the raster
+//! workers' staging scratch pool). A finished frame returns its arena from
+//! [`FrameInFlight::finish`]; handing it to the next
+//! [`begin_frame`](crate::Renderer::begin_frame) turns the steady-state
+//! per-frame cost into buffer reuse instead of allocation. Buffers are
+//! cleared before reuse, so arenas never leak data between frames (or
+//! sessions) and `FrameArena::default()` is always a valid cold start.
 
 use crate::binning::{MergedTileSchedule, TileBins};
 use crate::pipeline::{
@@ -30,20 +30,22 @@ use crate::pipeline::{
     StageKind,
 };
 use crate::projection::ProjectedSplat;
-use crate::raster::{RenderOutput, Renderer, UnitResult};
+use crate::raster::{RasterScratch, RenderOutput, Renderer, UnitResult};
 use crate::stats::TileGridDims;
 use ms_scene::{Camera, GaussianModel};
 
-/// Recyclable scratch storage for one frame: the projected-splat vector and
-/// the CSR `(offsets, indices)` buffers. Returned by
-/// [`FrameInFlight::finish`] with contents cleared (capacity retained) and
-/// accepted by [`Renderer::begin_frame`]; `FrameArena::default()` is a
-/// valid cold start that simply allocates on first use.
+/// Recyclable scratch storage for one frame: the projected-splat vector,
+/// the CSR `(offsets, indices)` buffers, and the Raster stage's per-worker
+/// staging scratch pool. Returned by [`FrameInFlight::finish`] with
+/// contents cleared (capacity retained) and accepted by
+/// [`Renderer::begin_frame`]; `FrameArena::default()` is a valid cold
+/// start that simply allocates on first use.
 #[derive(Debug, Default)]
 pub struct FrameArena {
     pub(crate) splats: Vec<ProjectedSplat>,
     pub(crate) offsets: Vec<u32>,
     pub(crate) indices: Vec<u32>,
+    pub(crate) raster: Vec<RasterScratch>,
 }
 
 /// Admission predicate of the unfiltered pipeline, as a named `fn` so
@@ -109,6 +111,10 @@ pub struct FrameInFlight {
     model_len: usize,
     profiler: Profiler,
     state: State,
+    /// Raster staging scratch pool, taken out of the incoming arena so the
+    /// Raster stage can borrow it mutably alongside the pipeline state;
+    /// rejoins the arena in [`finish`](Self::finish).
+    raster_scratch: Vec<RasterScratch>,
 }
 
 impl std::fmt::Debug for FrameInFlight {
@@ -127,12 +133,14 @@ impl std::fmt::Debug for FrameInFlight {
 impl FrameInFlight {
     /// Start a frame at the Project stage. Callers go through
     /// [`Renderer::begin_frame`], which performs the camera checks first.
-    pub(crate) fn new(camera: Camera, model_len: usize, arena: FrameArena) -> Self {
+    pub(crate) fn new(camera: Camera, model_len: usize, mut arena: FrameArena) -> Self {
+        let raster_scratch = std::mem::take(&mut arena.raster);
         Self {
             camera,
             model_len,
             profiler: Profiler::default(),
             state: State::Project { arena },
+            raster_scratch,
         }
     }
 
@@ -228,6 +236,7 @@ impl FrameInFlight {
                     options,
                     camera: &self.camera,
                     mask: None,
+                    scratch: &mut self.raster_scratch,
                 };
                 let units = self.profiler.run(&mut stage, (&bins, &schedule));
                 State::Composite {
@@ -293,12 +302,17 @@ impl FrameInFlight {
         let (mut offsets, mut indices) = bins.into_buffers();
         offsets.clear();
         indices.clear();
+        let mut raster = self.raster_scratch;
+        for scratch in &mut raster {
+            scratch.clear();
+        }
         (
             output,
             FrameArena {
                 splats,
                 offsets,
                 indices,
+                raster,
             },
         )
     }

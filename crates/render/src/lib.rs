@@ -52,8 +52,8 @@ mod stats;
 pub use binning::{MergedTileSchedule, SuperTile, TileBins};
 pub use frame::{FrameArena, FrameInFlight};
 pub use image::Image;
-pub use options::{RasterKernel, RenderOptions, SortMode};
+pub use options::{RasterKernel, RasterStaging, RenderOptions, SortMode};
 pub use pipeline::{FrameProfile, Profiler, Stage, StageKind, StageSample};
 pub use projection::{project_model, project_model_filtered, ProjectedSplat};
-pub use raster::{RenderOutput, Renderer};
-pub use stats::{RenderStats, TileGridDims};
+pub use raster::{RasterScratch, RenderOutput, Renderer};
+pub use stats::{RasterWork, RenderStats, TileGridDims};

@@ -66,16 +66,22 @@
 //! winner buffer are bit-identical to the unmerged render's for every
 //! thread count too. Merging changes scheduling, never pixels.
 //!
-//! The Raster stage has a third interchangeable axis: the compositing
-//! *kernel*. [`RenderOptions::raster_kernel`](crate::RenderOptions)
-//! selects between the scalar reference and the 4-lane SIMD kernel
-//! (`Auto`, the default, honors the `MS_RASTER_KERNEL` env var and
-//! otherwise picks SIMD). The seam sits inside a work unit, per group of
-//! four row pixels — full unmasked groups run the batched kernel,
-//! remainders and masked groups fall back to the scalar one — and the
-//! kernels are bit-identical by construction (see `raster.rs` and the
-//! "SIMD raster kernels" section of `ARCHITECTURE.md`), so kernel choice,
-//! like thread count and merging, changes wall time, never pixels.
+//! The Raster stage has two more interchangeable axes: the compositing
+//! *kernel* and the splat *staging* strategy.
+//! [`RenderOptions::raster_kernel`](crate::RenderOptions) selects between
+//! the scalar reference and the 4-lane SIMD kernel (`Auto`, the default,
+//! honors the `MS_RASTER_KERNEL` env var and otherwise picks SIMD); the
+//! seam sits inside a work unit, per group of four row pixels — full
+//! unmasked groups run the batched kernel, remainders and masked groups
+//! fall back to the scalar one.
+//! [`RenderOptions::raster_staging`](crate::RenderOptions) selects how the
+//! SIMD kernel's per-row splat sequences are staged: re-walking the tile's
+//! CSR list every row (`PerRow`, the PR 6 reference) or one per-tile
+//! prepass plus a row-interval schedule (`PerTile`, the default; `Auto`
+//! honors `MS_RASTER_STAGING`). Kernels and staging paths are
+//! bit-identical by construction (see `raster.rs` and the "Raster hot
+//! path" section of `ARCHITECTURE.md`), so kernel and staging choice, like
+//! thread count and merging, change wall time, never pixels.
 //!
 //! Each stage is a [`Stage`] implementation executed by a [`Profiler`],
 //! which records one [`StageSample`] per stage — wall time plus a
@@ -112,8 +118,8 @@ use crate::binning::{MergedTileSchedule, TileBins};
 use crate::image::Image;
 use crate::options::RenderOptions;
 use crate::projection::{project_model_filtered_into, ProjectedSplat};
-use crate::raster::{rasterize_unit, UnitResult};
-use crate::stats::TileGridDims;
+use crate::raster::{rasterize_unit, RasterScratch, UnitResult};
+use crate::stats::{RasterWork, TileGridDims};
 use ms_scene::{Camera, GaussianModel};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -168,12 +174,24 @@ pub struct StageSample {
 pub struct FrameProfile {
     /// Samples in execution order.
     pub samples: Vec<StageSample>,
+    /// Raster staging/scheduling work counters, summed over the frame's
+    /// work units (see [`RasterWork`] for the per-path semantics; all
+    /// zeros under the scalar kernel, which stages nothing).
+    pub raster: RasterWork,
 }
 
 /// Equality compares the *semantic* part of the profile — stage kinds and
 /// work counters — and deliberately ignores wall times, which differ
 /// between otherwise identical runs. This keeps `RenderStats: PartialEq`
 /// meaningful for determinism tests.
+///
+/// The [`RasterWork`] counters are also excluded: they describe how a
+/// kernel/staging configuration did the work, not what it produced, and
+/// they legitimately differ across configurations that must compare equal
+/// (scalar stages nothing; per-row and per-tile staging count iterations
+/// differently). Their own determinism — same counters for the same
+/// configuration across thread counts and schedules — is asserted
+/// explicitly in `tests/determinism.rs` instead.
 impl PartialEq for FrameProfile {
     fn eq(&self, other: &Self) -> bool {
         self.samples.len() == other.samples.len()
@@ -230,6 +248,7 @@ impl FrameProfile {
                 None => self.samples.push(*s),
             }
         }
+        self.raster.accumulate(&other.raster);
     }
 }
 
@@ -273,10 +292,13 @@ impl Profiler {
         out
     }
 
-    /// Finish the frame, yielding its profile.
+    /// Finish the frame, yielding its profile. The [`RasterWork`] counters
+    /// start zeroed — the pipeline driver fills them in from the Composite
+    /// stage's per-unit sums.
     pub fn finish(self) -> FrameProfile {
         FrameProfile {
             samples: self.samples,
+            raster: RasterWork::default(),
         }
     }
 }
@@ -452,6 +474,12 @@ pub struct RasterStage<'a> {
     pub camera: &'a Camera,
     /// Optional per-pixel mask.
     pub mask: Option<&'a [bool]>,
+    /// Per-worker staging scratch pool, recycled through a
+    /// [`FrameArena`](crate::FrameArena). Grown to one
+    /// [`RasterScratch`] per worker on demand; contents are overwritten
+    /// per tile, so which worker gets which scratch cannot change a
+    /// pixel. Empty is fine.
+    pub scratch: &'a mut Vec<RasterScratch>,
 }
 
 impl<'a> Stage for RasterStage<'a> {
@@ -466,24 +494,32 @@ impl<'a> Stage for RasterStage<'a> {
         let units = schedule.units();
         let threads = self.options.resolved_threads().min(units.len().max(1));
         if threads <= 1 || units.len() <= 1 {
-            return units
-                .iter()
-                .map(|unit| {
-                    rasterize_unit(
-                        self.options,
-                        self.splats,
-                        bins,
-                        self.camera,
-                        unit,
-                        self.mask,
-                    )
-                })
-                .collect();
+            if self.scratch.is_empty() {
+                self.scratch.push(RasterScratch::default());
+            }
+            let scratch = &mut self.scratch[0];
+            let mut out = Vec::with_capacity(units.len());
+            for unit in units {
+                out.push(rasterize_unit(
+                    self.options,
+                    self.splats,
+                    bins,
+                    self.camera,
+                    unit,
+                    self.mask,
+                    scratch,
+                ));
+            }
+            return out;
         }
 
         // Workers pop unit indices from a shared counter; each unit result
         // lands in its own slot, so assembly order — and the composited
-        // image — is independent of scheduling.
+        // image — is independent of scheduling. Each worker owns one
+        // scratch from the recycled pool for its whole run.
+        if self.scratch.len() < threads {
+            self.scratch.resize_with(threads, RasterScratch::default);
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<Option<UnitResult>>> = (0..units.len())
             .map(|_| std::sync::Mutex::new(None))
@@ -493,7 +529,7 @@ impl<'a> Stage for RasterStage<'a> {
         let camera = self.camera;
         let mask = self.mask;
         rayon::scope(|s| {
-            for _ in 0..threads {
+            for scratch in self.scratch.iter_mut().take(threads) {
                 let next = &next;
                 let slots = &slots;
                 s.spawn(move |_| loop {
@@ -501,7 +537,8 @@ impl<'a> Stage for RasterStage<'a> {
                     if u >= units.len() {
                         break;
                     }
-                    let unit = rasterize_unit(options, splats, bins, camera, &units[u], mask);
+                    let unit =
+                        rasterize_unit(options, splats, bins, camera, &units[u], mask, scratch);
                     *slots[u].lock().expect("unit slot poisoned") = Some(unit);
                 });
             }
@@ -541,6 +578,9 @@ pub struct Composited {
     pub winners: Vec<u32>,
     /// Total compositing steps across work units.
     pub blend_steps: u64,
+    /// Raster staging/scheduling work counters summed across work units
+    /// (destined for [`FrameProfile::raster`]).
+    pub raster: RasterWork,
 }
 
 impl Stage for CompositeStage<'_> {
@@ -560,8 +600,10 @@ impl Stage for CompositeStage<'_> {
             Vec::new()
         };
         let mut blend_steps = 0u64;
+        let mut raster = RasterWork::default();
         for unit in units {
             blend_steps += unit.blend_steps;
+            raster.accumulate(&unit.work);
             let rows = unit.pixels.len() as u32 / unit.width.max(1);
             for dy in 0..rows {
                 let y = unit.y_start + dy;
@@ -579,6 +621,7 @@ impl Stage for CompositeStage<'_> {
             image,
             winners,
             blend_steps,
+            raster,
         }
     }
 
@@ -599,6 +642,7 @@ mod tests {
                 wall: Duration::from_millis(5),
                 items: 42,
             }],
+            ..FrameProfile::default()
         };
         let b = FrameProfile {
             samples: vec![StageSample {
@@ -606,6 +650,7 @@ mod tests {
                 wall: Duration::from_millis(900),
                 items: 42,
             }],
+            ..FrameProfile::default()
         };
         assert_eq!(a, b);
         let c = FrameProfile {
@@ -614,6 +659,7 @@ mod tests {
                 wall: Duration::ZERO,
                 items: 43,
             }],
+            ..FrameProfile::default()
         };
         assert_ne!(a, c);
     }
@@ -626,6 +672,7 @@ mod tests {
                 wall: Duration::from_micros(10),
                 items: 100,
             }],
+            ..FrameProfile::default()
         };
         let b = FrameProfile {
             samples: vec![
@@ -640,6 +687,7 @@ mod tests {
                     items: 7,
                 },
             ],
+            ..FrameProfile::default()
         };
         a.absorb(&b);
         assert_eq!(a.items(StageKind::Raster), 150);

@@ -36,14 +36,40 @@
 //! without any lane arithmetic. [`rasterize_unit`] drives full 4-pixel groups
 //! through the SIMD kernel and row remainders or masked-pixel gaps through
 //! the scalar one, so any pixel mix still composes to the scalar frame.
+//!
+//! # Tile staging
+//!
+//! How the SIMD path feeds [`composite_row4`] is itself a knob
+//! ([`RenderOptions::raster_staging`](crate::options::RasterStaging)):
+//!
+//! * **Per-row** ([`stage_row`]) — the PR 6 reference: every tile row
+//!   re-walks the tile's depth-sorted CSR list, culls against the
+//!   admission boxes and gathers survivors. O(tile_rows × csr_len) cull
+//!   work per tile.
+//! * **Per-tile** ([`stage_tile`]) — one CSR walk culls each splat once,
+//!   stages its row-invariant terms into SoA buffers, and derives its
+//!   inclusive row interval from the admission box with the *same* float
+//!   predicate the per-row path evaluates (exact binary search, so the
+//!   admitted set per row is identical by construction, not merely by
+//!   slack). A counting sort over the intervals then schedules the staged
+//!   splats by row — depth order preserved within each row — and each row
+//!   gathers only its own interval-active splats
+//!   ([`TileStage::gather_row`]). O(csr_len + Σ active-rows) per tile.
+//!
+//! Both paths push identical [`RowSplat`] sequences, so the compositing
+//! kernels cannot observe which one ran. The per-tile SoA buffers live in
+//! [`RasterScratch`], recycled across tiles, work units and (through
+//! [`FrameArena`](crate::FrameArena)) frames; the
+//! [`RasterWork`](crate::RasterWork) counters in the frame profile record
+//! how much row-iteration work the interval scheduler avoided.
 
 use crate::binning::{SuperTile, TileBins};
-use crate::options::{RasterKernel, RenderOptions, SortMode};
+use crate::options::{RasterKernel, RasterStaging, RenderOptions, SortMode};
 use crate::pipeline::{
     BinStage, CompositeStage, Composited, MergeStage, Profiler, ProjectStage, RasterStage,
 };
 use crate::projection::ProjectedSplat;
-use crate::stats::{RenderStats, TileGridDims};
+use crate::stats::{RasterWork, RenderStats, TileGridDims};
 use ms_math::simd::{F32x4, Mask4, U32x4};
 use ms_math::Vec2;
 use ms_scene::{Camera, GaussianModel};
@@ -86,6 +112,9 @@ pub struct UnitResult {
     pub winners: Vec<u32>,
     /// Compositing steps executed.
     pub blend_steps: u64,
+    /// Staging work counters for the unit's tiles (zeros under the scalar
+    /// kernel, which stages nothing).
+    pub work: RasterWork,
 }
 
 impl Renderer {
@@ -287,12 +316,16 @@ impl Renderer {
             },
             &bins,
         );
+        // One-shot render paths allocate their staging scratch locally; the
+        // resumable frame path recycles it through the `FrameArena` instead.
+        let mut raster_scratch = Vec::new();
         let units = profiler.run(
             &mut RasterStage {
                 splats,
                 options: &self.options,
                 camera,
                 mask,
+                scratch: &mut raster_scratch,
             },
             (&bins, &schedule),
         );
@@ -333,7 +366,10 @@ pub(crate) fn assemble_output(
         image,
         winners,
         blend_steps,
+        raster,
     } = composited;
+    let mut profile = profiler.finish();
+    profile.raster = raster;
     let tile_intersections = bins.intersection_counts();
     let total_intersections = bins.total_intersections();
     // The per-tile → work-unit map is recorded only when occupancy
@@ -376,7 +412,7 @@ pub(crate) fn assemble_output(
             point_tiles_used,
             point_pixels_dominated,
             tile_unit,
-            profile: profiler.finish(),
+            profile,
         },
         winners,
     }
@@ -409,6 +445,36 @@ fn check_camera(camera: &Camera) {
     );
 }
 
+/// Recyclable per-worker scratch for one raster work unit: the per-tile
+/// staging buffers (`TileStage`), the per-row staged splat sequence, the
+/// per-row-staging admission culls and the per-pixel sort-mode gather
+/// buffer. One instance serves one raster worker at a time; the Raster
+/// stage keeps a pool of `threads` instances, recycled across work units
+/// and — through [`FrameArena`](crate::FrameArena) — across frames, so the
+/// steady-state raster hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct RasterScratch {
+    /// Per-(tile, splat) admission culls (per-row staging path).
+    culls: Vec<SplatCull>,
+    /// Staged splat sequence of the current tile row.
+    row: Vec<RowSplat>,
+    /// Per-tile SoA staging buffers (per-tile staging path).
+    stage: TileStage,
+    /// Per-pixel sort-mode contribution gather buffer.
+    contribs: Vec<(f32, f32, ms_math::Vec3, u32)>,
+}
+
+impl RasterScratch {
+    /// Drop contents, keep capacity — called when an arena is returned so
+    /// recycled scratch never leaks splat data between frames or sessions.
+    pub(crate) fn clear(&mut self) {
+        self.culls.clear();
+        self.row.clear();
+        self.stage.clear();
+        self.contribs.clear();
+    }
+}
+
 /// Rasterize one work unit (a rectangle of tiles, clipped to the image).
 ///
 /// Each pixel composites against **its own tile's** depth-sorted CSR list —
@@ -416,6 +482,9 @@ fn check_camera(camera: &Camera) {
 /// schedules that partition the grid differently produce bit-identical
 /// pixels, winners and blend-step counts. This is the invariant behind
 /// both determinism axes (thread count and merged-vs-unmerged).
+/// `scratch` only carries recycled buffer capacity; its contents are
+/// overwritten per tile, so which worker's scratch arrives cannot change a
+/// pixel either.
 pub(crate) fn rasterize_unit(
     options: &RenderOptions,
     splats: &[ProjectedSplat],
@@ -423,6 +492,7 @@ pub(crate) fn rasterize_unit(
     camera: &Camera,
     unit: &SuperTile,
     mask: Option<&[bool]>,
+    scratch: &mut RasterScratch,
 ) -> UnitResult {
     let grid = bins.grid();
     let ts = grid.tile_size;
@@ -444,16 +514,16 @@ pub(crate) fn rasterize_unit(
         Vec::new()
     };
     let mut blend_steps = 0u64;
+    let mut work = RasterWork::default();
     let simd =
         options.sort_mode == SortMode::PerTile && options.resolved_kernel() == RasterKernel::Simd4;
-
-    // Scratch buffer for the per-pixel sort mode.
-    let mut contribs: Vec<(f32, f32, ms_math::Vec3, u32)> = Vec::new();
-    // Scratch buffers for the SIMD kernel: per-(tile, splat) admission
-    // culls, filled once per tile, and the staged splat sequence of the
-    // current tile row, rebuilt per row and streamed by its pixel groups.
-    let mut culls: Vec<SplatCull> = Vec::new();
-    let mut row: Vec<RowSplat> = Vec::new();
+    let per_tile_staging = simd && options.resolved_staging() == RasterStaging::PerTile;
+    let RasterScratch {
+        culls,
+        row,
+        stage,
+        contribs,
+    } = scratch;
 
     for ty in unit.ty0..unit.ty1 {
         for tx in unit.tx0..unit.tx1 {
@@ -465,20 +535,32 @@ pub(crate) fn rasterize_unit(
             let tx_end = (tx_start as u64 + ts as u64).min(camera.width as u64) as u32;
             let ty_start = ty * ts;
             let ty_end = (ty_start as u64 + ts as u64).min(camera.height as u64) as u32;
+            // Row-invariant pixel-center columns of this tile, shared by
+            // both staging paths' column-overlap cull.
+            let row_x_lo = tx_start as f32 + 0.5;
+            let row_x_hi = (tx_end - 1) as f32 + 0.5;
             if simd {
-                splat_cull_data(options, splats, list, &mut culls);
+                let rows = (ty_end - ty_start) as u64;
+                if per_tile_staging {
+                    let culled = stage
+                        .stage_tile(options, splats, list, ty_start, ty_end, row_x_lo, row_x_hi);
+                    work.splats_staged += list.len() as u64 - culled;
+                    work.splats_culled += culled;
+                    // One row iteration per scheduled (row, splat) pair.
+                    work.row_iterations += stage.schedule_len() as u64;
+                } else {
+                    splat_cull_data(options, splats, list, culls);
+                    work.splats_staged += list.len() as u64;
+                    work.row_iterations += rows * list.len() as u64;
+                }
+                work.row_iteration_bound += rows * list.len() as u64;
             }
             for y in ty_start..ty_end {
-                if simd {
-                    stage_row(
-                        splats,
-                        list,
-                        &culls,
-                        y as f32 + 0.5,
-                        tx_start as f32 + 0.5,
-                        (tx_end - 1) as f32 + 0.5,
-                        &mut row,
-                    );
+                // Per-tile staging needs no per-row work at all: the
+                // kernel below reads the staged SoA through the row's
+                // schedule slice directly.
+                if simd && !per_tile_staging {
+                    stage_row(splats, list, culls, y as f32 + 0.5, row_x_lo, row_x_hi, row);
                 }
                 let mut x = tx_start;
                 while x < tx_end {
@@ -499,7 +581,20 @@ pub(crate) fn rasterize_unit(
                             (x + 2) as f32 + 0.5,
                             (x + 3) as f32 + 0.5,
                         );
-                        let (colors, group_winners, steps) = composite_row4(options, &row, px_x);
+                        let (colors, group_winners, steps) = if per_tile_staging {
+                            composite_row4(
+                                options,
+                                stage.row_iter(
+                                    y - ty_start,
+                                    y as f32 + 0.5,
+                                    px_x.lane(0),
+                                    px_x.lane(3),
+                                ),
+                                px_x,
+                            )
+                        } else {
+                            composite_row4(options, row.iter().copied(), px_x)
+                        };
                         let out_idx = ((y - y_start) * unit_w + (x - x_start)) as usize;
                         pixels[out_idx..out_idx + 4].copy_from_slice(&colors);
                         if track {
@@ -520,7 +615,7 @@ pub(crate) fn rasterize_unit(
                         let (color, winner, steps) = match options.sort_mode {
                             SortMode::PerTile => composite_pixel(options, splats, list, px),
                             SortMode::PerPixel => {
-                                composite_pixel_sorted(options, splats, list, px, &mut contribs)
+                                composite_pixel_sorted(options, splats, list, px, contribs)
                             }
                         };
                         pixels[out_idx] = color;
@@ -541,6 +636,7 @@ pub(crate) fn rasterize_unit(
         pixels,
         winners,
         blend_steps,
+        work,
     }
 }
 
@@ -671,45 +767,49 @@ fn splat_cull_data(
     out: &mut Vec<SplatCull>,
 ) {
     out.clear();
-    out.extend(list.iter().map(|&si| {
-        let s = &splats[si as usize];
-        let power_floor = (o.alpha_min / s.opacity).ln() - EXP_SKIP_MARGIN;
-        let r2 = -2.0 * power_floor;
-        if r2.is_nan() {
-            return SplatCull::EXACT;
-        }
-        if r2 <= 0.0 {
-            // Even `power = 0` (splat center) provably fails admission:
-            // the splat contributes nowhere, skip it everywhere.
-            return SplatCull {
-                power_floor,
-                x_lo: f32::INFINITY,
-                x_hi: f32::NEG_INFINITY,
-                y_lo: f32::INFINITY,
-                y_hi: f32::NEG_INFINITY,
-            };
-        }
-        let (a, b, c) = (s.conic.a, s.conic.b, s.conic.c);
-        let det = a * c - b * b;
-        if !(det > 0.0 && a > 0.0 && c > 0.0) {
-            // Not a positive-definite ellipse (or NaN): no finite
-            // admission region to bound — use the exact path, which is
-            // always correct.
-            return SplatCull {
-                power_floor,
-                ..SplatCull::EXACT
-            };
-        }
-        let hw_x = (c * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
-        let hw_y = (a * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
-        SplatCull {
+    out.extend(list.iter().map(|&si| splat_cull(o, &splats[si as usize])));
+}
+
+/// One splat's admission cull — the per-splat body of [`splat_cull_data`],
+/// shared verbatim by the per-tile staging prepass so both staging paths
+/// cull against the exact same `f32` boxes and floors.
+fn splat_cull(o: &RenderOptions, s: &ProjectedSplat) -> SplatCull {
+    let power_floor = (o.alpha_min / s.opacity).ln() - EXP_SKIP_MARGIN;
+    let r2 = -2.0 * power_floor;
+    if r2.is_nan() {
+        return SplatCull::EXACT;
+    }
+    if r2 <= 0.0 {
+        // Even `power = 0` (splat center) provably fails admission:
+        // the splat contributes nowhere, skip it everywhere.
+        return SplatCull {
             power_floor,
-            x_lo: s.center.x - hw_x,
-            x_hi: s.center.x + hw_x,
-            y_lo: s.center.y - hw_y,
-            y_hi: s.center.y + hw_y,
-        }
-    }));
+            x_lo: f32::INFINITY,
+            x_hi: f32::NEG_INFINITY,
+            y_lo: f32::INFINITY,
+            y_hi: f32::NEG_INFINITY,
+        };
+    }
+    let (a, b, c) = (s.conic.a, s.conic.b, s.conic.c);
+    let det = a * c - b * b;
+    if !(det > 0.0 && a > 0.0 && c > 0.0) {
+        // Not a positive-definite ellipse (or NaN): no finite
+        // admission region to bound — use the exact path, which is
+        // always correct.
+        return SplatCull {
+            power_floor,
+            ..SplatCull::EXACT
+        };
+    }
+    let hw_x = (c * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
+    let hw_y = (a * r2 / det).sqrt() * CULL_BOX_RELATIVE_SLACK + CULL_BOX_ABSOLUTE_SLACK;
+    SplatCull {
+        power_floor,
+        x_lo: s.center.x - hw_x,
+        x_hi: s.center.x + hw_x,
+        y_lo: s.center.y - hw_y,
+        y_hi: s.center.y + hw_y,
+    }
 }
 
 /// One depth-ordered splat of a tile row, staged by [`stage_row`]: the
@@ -785,10 +885,254 @@ fn stage_row(
     }
 }
 
+/// Per-tile staging prepass + row-interval scheduler — the
+/// [`RasterStaging::PerTile`] replacement for calling [`stage_row`] once
+/// per row.
+///
+/// [`TileStage::stage_tile`] walks the tile's depth-sorted CSR list
+/// *once*: it computes the same admission cull as the per-row path
+/// ([`splat_cull`], verbatim), drops splats whose box misses the tile's
+/// columns or every tile row, and writes each survivor's splat-invariant
+/// terms into SoA buffers **in CSR depth order**, together with the
+/// inclusive row interval its admission box covers. A counting sort over
+/// those intervals then builds a per-row schedule
+/// (`row_splats[row_offsets[r]..row_offsets[r + 1]]` = the depth-ordered
+/// staged indices active on row `r`), so [`TileStage::gather_row`] touches
+/// only the splats whose interval covers the row — O(csr_len +
+/// Σ intervals) per tile instead of the per-row path's O(rows × csr_len)
+/// re-walk.
+///
+/// # Bit-identity with the per-row path
+///
+/// [`stage_row`] keeps splat `s` on row `y` iff `!(py < y_lo || py > y_hi
+/// || row_x_hi < x_lo || row_x_lo > x_hi)` with `py = y as f32 + 0.5`.
+/// The column test is row-invariant, so it is evaluated once here with the
+/// same operands. The row tests are resolved into an interval by binary
+/// search **on those exact `f32` predicates**: `py` is monotone
+/// nondecreasing in `y`, so `py < y_lo` flips true→false at most once and
+/// `py > y_hi` flips false→true at most once across the tile's rows, and
+/// the partition points bound precisely the rows the per-row test would
+/// keep (NaN bounds compare false everywhere → full interval, exactly
+/// like [`stage_row`] never dropping on NaN). Scattering survivors in
+/// staging order keeps each row's schedule slice in CSR depth order, and
+/// [`TileStage::gather_row`] computes the dy-dependent terms with the same
+/// association (`py - center_y`, `(c · dy) · dy`) from verbatim-staged
+/// fields — so both paths push identical [`RowSplat`] sequences and the
+/// kernels composite identical bits.
+#[derive(Debug, Default)]
+pub(crate) struct TileStage {
+    /// Splat center column, staged verbatim.
+    center_x: Vec<f32>,
+    /// Splat center row, staged verbatim (`dy = py - center_y` per row).
+    center_y: Vec<f32>,
+    /// `conic.a`, staged verbatim.
+    a: Vec<f32>,
+    /// `2.0 * conic.b` — same grouping as [`stage_row`], computed once.
+    b2: Vec<f32>,
+    /// `conic.c`, staged verbatim (`c_dy2 = (c * dy) * dy` per row).
+    c: Vec<f32>,
+    /// Admission floor (see [`SplatCull`]).
+    power_floor: Vec<f32>,
+    /// Admission-box columns (see [`SplatCull`]).
+    x_lo: Vec<f32>,
+    /// See `x_lo`.
+    x_hi: Vec<f32>,
+    /// Splat opacity.
+    opacity: Vec<f32>,
+    /// Splat color.
+    color: Vec<ms_math::Vec3>,
+    /// Source point index (winner tracking).
+    point_index: Vec<u32>,
+    /// First tile-relative row of the splat's interval.
+    y0: Vec<u32>,
+    /// One past the last tile-relative row of the splat's interval.
+    y_end: Vec<u32>,
+    /// Counting-sort schedule: row `r` owns
+    /// `row_splats[row_offsets[r]..row_offsets[r + 1]]`.
+    row_offsets: Vec<usize>,
+    /// Staged-splat indices, depth-ordered within each row's slice.
+    row_splats: Vec<u32>,
+    /// Scatter cursors, one per row (scratch for the schedule build).
+    cursor: Vec<usize>,
+}
+
+/// First `y` in `[lo, hi)` with `!pred(y)`, for `pred` monotone
+/// true→false over the range (the row-interval partition-point search).
+/// Returns `hi` when `pred` holds everywhere.
+fn row_partition(lo: u32, hi: u32, pred: impl Fn(u32) -> bool) -> u32 {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+impl TileStage {
+    /// Stage one tile: cull, write survivors' splat-invariant terms in
+    /// depth order, and build the row-interval schedule. Rows are the
+    /// pixel rows `ty_start..ty_end`; `row_x_lo`/`row_x_hi` are the tile's
+    /// first/last pixel-center columns (the row-invariant operands of the
+    /// column cull). Returns how many of the tile's `list` splats were
+    /// culled (dropped entirely — provably admitted nowhere in the tile).
+    #[allow(clippy::too_many_arguments)]
+    fn stage_tile(
+        &mut self,
+        o: &RenderOptions,
+        splats: &[ProjectedSplat],
+        list: &[u32],
+        ty_start: u32,
+        ty_end: u32,
+        row_x_lo: f32,
+        row_x_hi: f32,
+    ) -> u64 {
+        self.clear();
+        let mut culled = 0u64;
+        for &si in list {
+            let s = &splats[si as usize];
+            let cull = splat_cull(o, s);
+            // Same column test as `stage_row`, hoisted out of the row
+            // loop: NaN bounds compare false — never dropped.
+            if row_x_hi < cull.x_lo || row_x_lo > cull.x_hi {
+                culled += 1;
+                continue;
+            }
+            // Partition points of the exact per-row predicates (see the
+            // type-level bit-identity note). `!(py > y_hi)` is NOT
+            // `py <= y_hi`: a NaN bound must keep every row, exactly as
+            // the negated per-row skip test does.
+            let first = row_partition(ty_start, ty_end, |y| (y as f32 + 0.5) < cull.y_lo);
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let end = row_partition(ty_start, ty_end, |y| !((y as f32 + 0.5) > cull.y_hi));
+            if first >= end {
+                culled += 1;
+                continue;
+            }
+            self.center_x.push(s.center.x);
+            self.center_y.push(s.center.y);
+            self.a.push(s.conic.a);
+            self.b2.push(2.0 * s.conic.b);
+            self.c.push(s.conic.c);
+            self.power_floor.push(cull.power_floor);
+            self.x_lo.push(cull.x_lo);
+            self.x_hi.push(cull.x_hi);
+            self.opacity.push(s.opacity);
+            self.color.push(s.color);
+            self.point_index.push(s.point_index);
+            self.y0.push(first - ty_start);
+            self.y_end.push(end - ty_start);
+        }
+        // Counting sort of the intervals into a per-row schedule:
+        // count, prefix-sum, then scatter in staging (= depth) order so
+        // each row's slice stays depth-ordered.
+        let rows = (ty_end - ty_start) as usize;
+        self.row_offsets.clear();
+        self.row_offsets.resize(rows + 1, 0);
+        for i in 0..self.y0.len() {
+            for r in self.y0[i]..self.y_end[i] {
+                self.row_offsets[r as usize + 1] += 1;
+            }
+        }
+        for r in 0..rows {
+            self.row_offsets[r + 1] += self.row_offsets[r];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.row_offsets[..rows]);
+        self.row_splats.resize(self.row_offsets[rows], 0);
+        for i in 0..self.y0.len() {
+            for r in self.y0[i]..self.y_end[i] {
+                let slot = self.cursor[r as usize];
+                self.cursor[r as usize] += 1;
+                self.row_splats[slot] = i as u32;
+            }
+        }
+        culled
+    }
+
+    /// Depth-ordered [`RowSplat`] sequence for tile-relative row `r`
+    /// (pixel-center row `py`), pre-culled against one 4-pixel group's
+    /// column span `[gx_lo, gx_hi]` and materialized lazily from the
+    /// staged SoA — no per-row buffer is written.
+    ///
+    /// The column test is [`composite_row4`]'s own whole-group cull
+    /// (`gx_hi < x_lo || gx_lo > x_hi`, NaN bounds never skip) hoisted in
+    /// front of the load of the other staged fields: a skipped splat
+    /// produces no lane arithmetic either way, so filtering here is
+    /// invisible to the kernel. The dy-dependent terms use the per-row
+    /// path's exact association order (`py - center_y`, `(c · dy) · dy`
+    /// on verbatim-staged fields), so the surviving sequence carries the
+    /// same values [`stage_row`] pushes.
+    fn row_iter(
+        &self,
+        r: u32,
+        py: f32,
+        gx_lo: f32,
+        gx_hi: f32,
+    ) -> impl Iterator<Item = RowSplat> + '_ {
+        let start = self.row_offsets[r as usize];
+        let end = self.row_offsets[r as usize + 1];
+        self.row_splats[start..end].iter().filter_map(move |&i| {
+            let i = i as usize;
+            if gx_hi < self.x_lo[i] || gx_lo > self.x_hi[i] {
+                return None;
+            }
+            let dy = py - self.center_y[i];
+            Some(RowSplat {
+                center_x: self.center_x[i],
+                a: self.a[i],
+                b2: self.b2[i],
+                dy,
+                c_dy2: (self.c[i] * dy) * dy,
+                power_floor: self.power_floor[i],
+                x_lo: self.x_lo[i],
+                x_hi: self.x_hi[i],
+                opacity: self.opacity[i],
+                color: self.color[i],
+                point_index: self.point_index[i],
+            })
+        })
+    }
+
+    /// Total scheduled (row, splat) pairs for the staged tile —
+    /// Σ interval lengths, the per-tile path's actual row-iteration count.
+    fn schedule_len(&self) -> usize {
+        self.row_splats.len()
+    }
+
+    /// Drop contents, keep capacity.
+    fn clear(&mut self) {
+        self.center_x.clear();
+        self.center_y.clear();
+        self.a.clear();
+        self.b2.clear();
+        self.c.clear();
+        self.power_floor.clear();
+        self.x_lo.clear();
+        self.x_hi.clear();
+        self.opacity.clear();
+        self.color.clear();
+        self.point_index.clear();
+        self.y0.clear();
+        self.y_end.clear();
+        self.row_offsets.clear();
+        self.row_splats.clear();
+        self.cursor.clear();
+    }
+}
+
 /// Composite four horizontally-adjacent pixels of one tile row
 /// front-to-back over the row's staged splat sequence — the 4-lane
 /// counterpart of [`composite_pixel`], bit-identical to running it on each
 /// pixel.
+///
+/// `row` is the row's depth-ordered [`RowSplat`] sequence: the buffer
+/// [`stage_row`] filled (per-row staging) or [`TileStage::row_iter`]'s
+/// lazy view of the per-tile schedule — both yield identical values, so
+/// the kernel cannot tell the staging paths apart.
 ///
 /// Lane `i` is the pixel centered at `(px_x.lane(i), py)` for the row
 /// `row` was staged for. Per splat, the conic is evaluated for all four
@@ -805,7 +1149,7 @@ fn stage_row(
 #[inline]
 fn composite_row4(
     o: &RenderOptions,
-    row: &[RowSplat],
+    row: impl Iterator<Item = RowSplat>,
     px_x: F32x4,
 ) -> ([ms_math::Vec3; 4], [u32; 4], u64) {
     let mut cr = F32x4::splat(0.0);

@@ -4,9 +4,17 @@
 //! image shapes (odd widths force scalar remainder groups), pixel masks,
 //! and high-opacity stacks that retire the four lanes of a group at
 //! different depths.
+//!
+//! The per-tile staging prepass (`RasterStaging::PerTile`) gets its own
+//! properties targeting the row-interval scheduler's edge cases: pancake
+//! conics whose admission boxes clip to a single tile row, admission
+//! thresholds high enough to empty a splat's interval entirely, odd tile
+//! sizes (so the last row of edge tiles lands mid-interval), and merged
+//! super-tile rects (each tile inside a super-tile must stage its own
+//! rows against its own CSR list).
 
 use ms_math::{Conic2, Quat, TileRect, Vec2, Vec3};
-use ms_render::{Image, RasterKernel, RenderOptions, RenderOutput, Renderer};
+use ms_render::{Image, RasterKernel, RasterStaging, RenderOptions, RenderOutput, Renderer};
 use ms_scene::{Camera, GaussianModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -229,5 +237,130 @@ proptest! {
         let simd = Renderer::new(options(RasterKernel::Simd4, 16, 1.0 / 255.0, 0.99, 1e-4))
             .render_masked(&model, &cam, |_| true, &mask);
         assert_outputs_bit_identical(&simd, &scalar)?;
+    }
+
+    #[test]
+    fn pertile_staging_matches_perrow_on_interval_edge_cases(
+        seed in 0u64..1u64 << 48,
+        n in 1usize..80,
+        width in 13u32..70,
+        height in 9u32..56,
+        ts_pick in 0u32..3,
+        alpha_min in 0.0f32..0.45,
+        squash in 1.0f32..400.0,
+    ) {
+        // Pancake conics: σ along one axis shrinks toward a fraction of a
+        // pixel, so admission boxes clip to a single tile row — the
+        // row-interval scheduler's `y0 == y1` case — while `alpha_min` up
+        // to 0.45 against opacities from 0.01 makes many splats provably
+        // inadmissible everywhere (empty interval, culled in the prepass).
+        // Odd tile sizes put edge-tile last rows mid-interval.
+        let tile_size = [5u32, 7, 17][ts_pick as usize];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_0f0f_f0f0);
+        let tiles_x = width.div_ceil(tile_size);
+        let tiles_y = height.div_ceil(tile_size);
+        let splats: Vec<ms_render::ProjectedSplat> = (0..n)
+            .filter_map(|i| {
+                let cx = rng.gen_range(-10.0..width as f32 + 10.0);
+                let cy = rng.gen_range(-10.0..height as f32 + 10.0);
+                let radius = rng.gen_range(0.5..30.0f32);
+                let tiles = TileRect::from_circle(
+                    Vec2::new(cx, cy), radius, tile_size, tiles_x, tiles_y,
+                )?;
+                let sx = rng.gen_range(0.8..10.0f32);
+                let sy = rng.gen_range(0.05..4.0f32) / squash.sqrt();
+                let theta = rng.gen_range(0.0..std::f32::consts::PI);
+                let (s, c) = theta.sin_cos();
+                let (ia, ib) = (1.0 / (sx * sx), 1.0 / (sy * sy));
+                let conic = Conic2 {
+                    a: c * c * ia + s * s * ib,
+                    b: s * c * (ia - ib),
+                    c: s * s * ia + c * c * ib,
+                };
+                Some(ms_render::ProjectedSplat {
+                    point_index: i as u32,
+                    center: Vec2::new(cx, cy),
+                    conic,
+                    depth: rng.gen_range(0.1..60.0f32),
+                    radius,
+                    color: Vec3::new(
+                        rng.gen_range(0.0..1.0f32),
+                        rng.gen_range(0.0..1.0f32),
+                        rng.gen_range(0.0..1.0f32),
+                    ),
+                    opacity: rng.gen_range(0.01..0.9f32),
+                    tiles,
+                })
+            })
+            .collect();
+        let cam = Camera::look_at(width, height, 60.0, Vec3::new(0.0, 0.0, 4.0), Vec3::zero());
+        let mk = |kernel, staging| {
+            Renderer::new(RenderOptions {
+                raster_staging: staging,
+                ..options(kernel, tile_size, alpha_min, 0.99, 1e-4)
+            })
+        };
+        let scalar = mk(RasterKernel::Scalar, RasterStaging::PerRow).render_splats(n, &splats, &cam);
+        let perrow = mk(RasterKernel::Simd4, RasterStaging::PerRow).render_splats(n, &splats, &cam);
+        let pertile = mk(RasterKernel::Simd4, RasterStaging::PerTile).render_splats(n, &splats, &cam);
+        assert_outputs_bit_identical(&perrow, &scalar)?;
+        assert_outputs_bit_identical(&pertile, &perrow)?;
+    }
+
+    #[test]
+    fn pertile_staging_matches_scalar_under_merged_super_tiles(
+        seed in 0u64..1u64 << 48,
+        points in 6usize..40,
+        width in 25u32..80,
+        height in 21u32..64,
+    ) {
+        // A center-heavy world model rendered from a pulled-back camera:
+        // occupancy merging coalesces the sparse periphery into multi-tile
+        // super-tile rects. Inside a super-tile, each tile must still
+        // stage its own rows against its own CSR list — per-tile staging
+        // under a merged schedule must reproduce the unmerged scalar
+        // frame bit for bit.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd0_7117_e57a_6e5d);
+        let mut model = GaussianModel::new(0);
+        for _ in 0..points {
+            model.push_solid(
+                Vec3::new(
+                    rng.gen_range(-0.8..0.8f32),
+                    rng.gen_range(-0.8..0.8f32),
+                    rng.gen_range(-0.8..0.8f32),
+                ),
+                Vec3::new(
+                    rng.gen_range(0.05..0.4f32),
+                    rng.gen_range(0.05..0.4f32),
+                    rng.gen_range(0.05..0.4f32),
+                ),
+                Quat::identity(),
+                rng.gen_range(0.1..0.95f32),
+                Vec3::new(
+                    rng.gen_range(0.0..1.0f32),
+                    rng.gen_range(0.0..1.0f32),
+                    rng.gen_range(0.0..1.0f32),
+                ),
+            );
+        }
+        let cam = Camera::look_at(width, height, 60.0, Vec3::new(0.0, 0.0, 10.0), Vec3::zero());
+        let scalar_unmerged = Renderer::new(RenderOptions {
+            raster_kernel: RasterKernel::Scalar,
+            tile_size: 7,
+            track_point_stats: true,
+            threads: 1,
+            ..RenderOptions::default()
+        })
+        .render(&model, &cam);
+        let pertile_merged = Renderer::new(RenderOptions {
+            raster_kernel: RasterKernel::Simd4,
+            raster_staging: RasterStaging::PerTile,
+            tile_size: 7,
+            track_point_stats: true,
+            threads: 1,
+            ..RenderOptions::with_tile_merging()
+        })
+        .render(&model, &cam);
+        assert_outputs_bit_identical(&pertile_merged, &scalar_unmerged)?;
     }
 }

@@ -14,8 +14,19 @@
 //! the 4-lane SIMD compositing kernel must produce the same frame, bit for
 //! bit, as the scalar reference kernel — on plain, masked and filtered
 //! renders, at every worker count, merged or not.
+//!
+//! Splat staging (`RenderOptions::raster_staging`) adds the fourth axis:
+//! the per-tile staging prepass + row-interval scheduler must push the
+//! SIMD kernel the exact splat sequences the per-row CSR re-walk would,
+//! so pixels, winners and blend steps are bit-identical between the two
+//! staging paths — across thread counts and merged/unmerged schedules —
+//! and the `RasterWork` counters themselves must be deterministic for a
+//! fixed configuration (they are per-tile quantities, so neither the
+//! thread count nor the work-unit schedule may change them).
 
-use metasapiens::render::{RasterKernel, RenderOptions, RenderOutput, Renderer, StageKind};
+use metasapiens::render::{
+    RasterKernel, RasterStaging, RenderOptions, RenderOutput, Renderer, StageKind,
+};
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::Camera;
 
@@ -341,6 +352,122 @@ fn merged_simd_kernel_matches_unmerged_scalar_across_threads() {
         assert_bit_identical(&simd_merged, &simd_merged_serial, threads);
         assert_same_frame(&simd_merged, &scalar_unmerged, "simd4 merged");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Splat staging: the fourth determinism axis
+// ---------------------------------------------------------------------------
+
+fn staging_opts(threads: usize, staging: RasterStaging) -> RenderOptions {
+    RenderOptions {
+        raster_kernel: RasterKernel::Simd4,
+        raster_staging: staging,
+        ..opts(threads)
+    }
+}
+
+#[test]
+fn pertile_staging_is_bit_identical_to_perrow_across_threads() {
+    let s = scene();
+    let cam = camera(&s);
+    let perrow = Renderer::new(staging_opts(1, RasterStaging::PerRow)).render(&s.model, &cam);
+    for threads in [1, 2, 3, 8, 0] {
+        let pertile =
+            Renderer::new(staging_opts(threads, RasterStaging::PerTile)).render(&s.model, &cam);
+        assert_bit_identical(&pertile, &perrow, threads);
+    }
+}
+
+#[test]
+fn pertile_staging_masked_and_merged_match_perrow() {
+    let s = scene();
+    let cam = foveal_camera();
+    let mask: Vec<bool> = (0..(cam.width * cam.height) as usize)
+        .map(|i| {
+            let (x, y) = (i as u32 % cam.width, i as u32 / cam.width);
+            x < cam.width / 2 || (x + y) % 7 == 0
+        })
+        .collect();
+    let perrow_masked = Renderer::new(staging_opts(1, RasterStaging::PerRow)).render_masked(
+        &s.model,
+        &cam,
+        |_| true,
+        &mask,
+    );
+    let perrow_merged = Renderer::new(RenderOptions {
+        raster_staging: RasterStaging::PerRow,
+        raster_kernel: RasterKernel::Simd4,
+        ..merge_opts(1)
+    })
+    .render(&s.model, &cam);
+    for threads in [1, 3] {
+        let masked = Renderer::new(staging_opts(threads, RasterStaging::PerTile)).render_masked(
+            &s.model,
+            &cam,
+            |_| true,
+            &mask,
+        );
+        assert_bit_identical(&masked, &perrow_masked, threads);
+        let merged = Renderer::new(RenderOptions {
+            raster_staging: RasterStaging::PerTile,
+            raster_kernel: RasterKernel::Simd4,
+            ..merge_opts(threads)
+        })
+        .render(&s.model, &cam);
+        assert_bit_identical(&merged, &perrow_merged, threads);
+    }
+}
+
+#[test]
+fn raster_work_counters_are_deterministic_and_meaningful() {
+    let s = scene();
+    let cam = camera(&s);
+
+    // Per-tile staging: counters are per-tile quantities, so they must not
+    // depend on the thread count or the work-unit schedule.
+    let reference = Renderer::new(staging_opts(1, RasterStaging::PerTile)).render(&s.model, &cam);
+    let work = reference.stats.profile.raster;
+    assert!(work.splats_staged > 0, "dense trace must stage splats");
+    assert!(
+        work.row_iterations > 0 && work.row_iterations < work.row_iteration_bound,
+        "row-interval schedule must beat the rows × csr_len bound \
+         ({} vs {})",
+        work.row_iterations,
+        work.row_iteration_bound
+    );
+    for threads in THREAD_COUNTS {
+        let par =
+            Renderer::new(staging_opts(threads, RasterStaging::PerTile)).render(&s.model, &cam);
+        assert_eq!(
+            par.stats.profile.raster, work,
+            "per-tile RasterWork differs at threads={threads}"
+        );
+    }
+    let merged = Renderer::new(RenderOptions {
+        raster_staging: RasterStaging::PerTile,
+        raster_kernel: RasterKernel::Simd4,
+        ..merge_opts(3)
+    })
+    .render(&s.model, &cam);
+    assert_eq!(
+        merged.stats.profile.raster, work,
+        "per-tile RasterWork differs under tile merging"
+    );
+
+    // Per-row staging: every tile row re-walks the full CSR list, so the
+    // iteration count *is* the bound and nothing is culled up front.
+    let perrow = Renderer::new(staging_opts(1, RasterStaging::PerRow)).render(&s.model, &cam);
+    let perrow_work = perrow.stats.profile.raster;
+    assert_eq!(perrow_work.row_iterations, perrow_work.row_iteration_bound);
+    assert_eq!(perrow_work.splats_culled, 0);
+    assert_eq!(perrow_work.row_iteration_bound, work.row_iteration_bound);
+
+    // Scalar kernel: no staging runs at all — counters stay zero.
+    let scalar = Renderer::new(kernel_opts(1, RasterKernel::Scalar)).render(&s.model, &cam);
+    assert_eq!(
+        scalar.stats.profile.raster,
+        metasapiens::render::RasterWork::default()
+    );
 }
 
 #[test]

@@ -2,9 +2,9 @@
 //! stream must be **bit-identical** — pixels, winner buffers, stats and
 //! `FrameProfile` work counters — to a solo `Renderer` walking the same
 //! trajectory, no matter how many other sessions are in flight, how many
-//! pool workers exist, whether tile merging is on, and which raster kernel
-//! runs. Pipelining changes *when* a frame's stages execute, never their
-//! inputs.
+//! pool workers exist, whether tile merging is on, which raster kernel
+//! runs, and which splat-staging path feeds it. Pipelining changes *when*
+//! a frame's stages execute, never their inputs.
 //!
 //! Also property-tests the trajectory sampler the server admits frames
 //! from: endpoint clamping, loop closure, per-index/batch agreement and
@@ -172,6 +172,60 @@ fn server_merged_simd_matches_solo() {
     for sessions in SESSION_COUNTS {
         for threads in THREAD_COUNTS {
             assert_server_matches_solo(sessions, threads, true, RasterKernel::Simd4);
+        }
+    }
+}
+
+#[test]
+fn server_pertile_staging_matches_solo_perrow() {
+    // The staging axis crossed with the served axis: sessions running the
+    // per-tile staging prepass must reproduce, bit for bit, solo renders
+    // staged per row — so no served/solo pair can drift no matter which
+    // staging path either side resolved.
+    use metasapiens::render::RasterStaging;
+    let mk_opts = |threads: usize, staging: RasterStaging| RenderOptions {
+        raster_staging: staging,
+        ..options(threads, true, RasterKernel::Simd4)
+    };
+    let model = model();
+    let proto = prototype();
+    let solo = Renderer::new(mk_opts(1, RasterStaging::PerRow));
+    let refs: Vec<Vec<RenderOutput>> = (0..4)
+        .map(|slot| {
+            trajectory(slot)
+                .cameras(&proto, FRAMES)
+                .iter()
+                .map(|cam| solo.render(&model, cam))
+                .collect()
+        })
+        .collect();
+    for threads in [2, 8] {
+        let mut server = FrameServer::new(model.clone());
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                server
+                    .add_session(SessionConfig {
+                        trajectory: trajectory(i),
+                        prototype: proto,
+                        frame_count: FRAMES,
+                        options: mk_opts(threads, RasterStaging::PerTile),
+                        in_flight: 1 + i % 3,
+                        ring_capacity: FRAMES,
+                    })
+                    .expect("valid session config")
+            })
+            .collect();
+        let results = server.run_to_completion();
+        assert_eq!(results.len(), ids.len());
+        for (i, (id, frames)) in results.iter().enumerate() {
+            assert_eq!(*id, ids[i]);
+            for (k, frame) in frames.iter().enumerate() {
+                assert_eq!(
+                    frame.output, refs[i][k],
+                    "session {i} frame {k} differs from solo per-row render \
+                     (threads={threads})"
+                );
+            }
         }
     }
 }
