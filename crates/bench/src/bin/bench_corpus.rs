@@ -1,8 +1,10 @@
 //! Corpus bench record: one binary sweeping **named scenarios** (scene
 //! family × trajectory) × kernel configuration (scalar, simd4 staged per
 //! row, simd4 staged per tile) × thread counts, plus the multi-session
-//! frame-server sweep — the single perf record of the repo, written to
-//! `BENCH_pr8.json` at the repo root (override with `MS_BENCH_OUT`).
+//! frame-server sweep and the chunked-streaming sweep (in-core vs
+//! `InCoreSource` at two chunk sizes) — the single perf record of the
+//! repo, written to `BENCH_pr9.json` at the repo root (override with
+//! `MS_BENCH_OUT`).
 //!
 //! This replaces the PR 6 `bench_raster` and PR 7 `bench_server`
 //! binaries: both sweeps are cells of the same corpus now, so one run
@@ -31,7 +33,8 @@
 //! `MS_SCALE` (foveated family), `MS_W`, `MS_H`, `MS_FRAMES` (raster
 //! best-of), `MS_THREADS`, `MS_SCENARIOS` (comma list filtering the
 //! named scenarios), `MS_SESSIONS`, `MS_SERVER_FRAMES` (frames per
-//! session), `MS_BENCH_OUT`.
+//! session), `MS_CHUNK_SIZES` (comma list of chunk sizes for the
+//! streaming sweep), `MS_BENCH_OUT`.
 
 use metasapiens::fov::{build_foveated, FoveatedRenderer, FrBuildConfig};
 use metasapiens::math::Vec3;
@@ -41,7 +44,7 @@ use metasapiens::render::{
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::synth::{self, Scene};
 use metasapiens::scene::trajectory::{orbit, Trajectory};
-use metasapiens::scene::{Camera, GaussianModel};
+use metasapiens::scene::{Camera, GaussianModel, InCoreSource, SceneSource};
 use ms_bench::print_table;
 use ms_serve::{FrameServer, SessionConfig};
 use std::sync::Arc;
@@ -519,13 +522,128 @@ fn main() {
     println!();
     print_table(&server_headers, &server_table);
 
-    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    // Chunked streaming sweep: the dense head-on frame rendered in core vs
+    // streamed through `InCoreSource` at two chunk sizes, per thread count.
+    // Same sampling discipline as the raster sweep (round-robin, best
+    // total wall). The resident-peak counters ride along from the best
+    // profile — they are deterministic per configuration, so they show
+    // what the bounded budget buys while total_us shows what the double
+    // projection costs.
+    let chunk_sizes = get_list("MS_CHUNK_SIZES", &[4096, 33_333]);
+    let chunk_sources: Vec<(usize, Arc<InCoreSource>)> = chunk_sizes
+        .iter()
+        .map(|&cs| (cs, Arc::new(InCoreSource::new((*model_arc).clone(), cs))))
+        .collect();
+    struct ChunkedCell {
+        mode: String,
+        chunk_splats: usize,
+        threads: usize,
+        render: Box<dyn Fn() -> FrameProfile>,
+        best: Option<FrameProfile>,
+    }
+    let mut chunked_cells: Vec<ChunkedCell> = Vec::new();
+    for &threads in &thread_counts {
+        let options = RenderOptions {
+            threads,
+            ..RenderOptions::default()
+        };
+        let (m, c, r) = (
+            Arc::clone(&model_arc),
+            headon,
+            Renderer::new(options.clone()),
+        );
+        chunked_cells.push(ChunkedCell {
+            mode: "incore".to_string(),
+            chunk_splats: 0,
+            threads,
+            render: Box::new(move || r.render(&m, &c).stats.profile),
+            best: None,
+        });
+        for (cs, source) in &chunk_sources {
+            let (s, c, r) = (Arc::clone(source), headon, Renderer::new(options.clone()));
+            assert!(s.chunk_count() >= 1);
+            chunked_cells.push(ChunkedCell {
+                mode: format!("chunk{cs}"),
+                chunk_splats: *cs,
+                threads,
+                render: Box::new(move || r.render_source(&*s, &c).stats.profile),
+                best: None,
+            });
+        }
+    }
+    for _ in 0..frames {
+        for cell in chunked_cells.iter_mut() {
+            let p = (cell.render)();
+            let better = cell
+                .best
+                .as_ref()
+                .map_or(true, |b| p.total_wall() < b.total_wall());
+            if better {
+                cell.best = Some(p);
+            }
+        }
+    }
+    let incore_us = |threads: usize| {
+        chunked_cells
+            .iter()
+            .find(|c| c.mode == "incore" && c.threads == threads)
+            .and_then(|c| c.best.as_ref())
+            .map_or(f64::NAN, |b| b.total_wall().as_secs_f64() * 1e6)
+    };
+    let chunked_headers = [
+        "mode",
+        "threads",
+        "total us",
+        "fps",
+        "vs incore",
+        "chunk peak B",
+        "projected peak B",
+    ];
+    let chunked_table: Vec<Vec<String>> = chunked_cells
+        .iter()
+        .map(|c| {
+            let best = c.best.as_ref().expect("at least one sample");
+            let total_us = best.total_wall().as_secs_f64() * 1e6;
+            vec![
+                c.mode.clone(),
+                c.threads.to_string(),
+                format!("{total_us:.1}"),
+                format!("{:.2}", 1e6 / total_us),
+                format!("{:.2}x", incore_us(c.threads) / total_us),
+                best.chunk_bytes_peak.to_string(),
+                best.projected_bytes_peak.to_string(),
+            ]
+        })
+        .collect();
+    println!();
+    print_table(&chunked_headers, &chunked_table);
+
+    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
     let raster_json: Vec<String> = rows.iter().map(json_raster_row).collect();
     let server_json: Vec<String> = server_rows.iter().map(json_server_row).collect();
+    let chunked_json: Vec<String> = chunked_cells
+        .iter()
+        .map(|c| {
+            let best = c.best.as_ref().expect("at least one sample");
+            let total_us = best.total_wall().as_secs_f64() * 1e6;
+            format!(
+                "    {{\"scenario\": \"dense/headon\", \"mode\": \"{}\", \"chunk_splats\": {}, \"threads\": {}, \"total_us\": {:.1}, \"fps\": {:.2}, \"incore_over_chunked\": {:.3}, \"chunk_bytes_peak\": {}, \"projected_bytes_peak\": {}}}",
+                c.mode,
+                c.chunk_splats,
+                c.threads,
+                total_us,
+                1e6 / total_us,
+                incore_us(c.threads) / total_us,
+                best.chunk_bytes_peak,
+                best.projected_bytes_peak,
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"corpus\",\n  \"pr\": 8,\n  \"host_cores\": {host_cores},\n  \"config\": {{\"trace\": \"room\", \"dense_points\": {points}, \"dense_log_scale\": {log_scale}, \"foveated_scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames\": {frames}, \"frames_per_session\": {server_frames}, \"in_flight\": 2}},\n  \"raster\": [\n{}\n  ],\n  \"acceptance_1t\": {{\"dense_orbit_perrow_over_pertile\": {staging_speedup:.3}, \"dense_orbit_row_iteration_saving\": {work_saving:.3}, \"foveated_headon_scalar_over_pertile\": {simd_speedup:.3}}},\n  \"server\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"corpus\",\n  \"pr\": 9,\n  \"host_cores\": {host_cores},\n  \"config\": {{\"trace\": \"room\", \"dense_points\": {points}, \"dense_log_scale\": {log_scale}, \"foveated_scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames\": {frames}, \"frames_per_session\": {server_frames}, \"in_flight\": 2}},\n  \"raster\": [\n{}\n  ],\n  \"acceptance_1t\": {{\"dense_orbit_perrow_over_pertile\": {staging_speedup:.3}, \"dense_orbit_row_iteration_saving\": {work_saving:.3}, \"foveated_headon_scalar_over_pertile\": {simd_speedup:.3}}},\n  \"server\": [\n{}\n  ],\n  \"chunked\": [\n{}\n  ]\n}}\n",
         raster_json.join(",\n"),
-        server_json.join(",\n")
+        server_json.join(",\n"),
+        chunked_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write bench record");
     println!("\nwrote {out_path}");

@@ -43,6 +43,69 @@ fn count_range(
     }
 }
 
+/// Pass-2 scatter shared by the in-core build and the chunked builder:
+/// write each splat's (global) index into its tiles' CSR segments.
+///
+/// `parts` holds one absolute per-tile cursor array per shard — shard `w`
+/// walks the `w`-th contiguous range of `splats` (the same ranges its
+/// pass-1 counts came from) and writes `index_base + si` at its cursors.
+/// Cursor ranges per tile are disjoint and ordered by shard index, so each
+/// tile segment fills in splat order; `index_base` offsets the stored
+/// indices when `splats` is a chunk of a larger splat sequence (0 for the
+/// in-core build).
+fn scatter_shards(
+    splats: &[ProjectedSplat],
+    tiles_x: u32,
+    active: &[bool],
+    shards: usize,
+    mut parts: Vec<Vec<u32>>,
+    index_base: u32,
+    indices: &mut [u32],
+) {
+    if shards <= 1 {
+        let cursor = &mut parts[0];
+        for (si, splat) in splats.iter().enumerate() {
+            for (tx, ty) in splat.tiles.iter() {
+                let idx = (ty * tiles_x + tx) as usize;
+                if active[idx] {
+                    indices[cursor[idx] as usize] = index_base + si as u32;
+                    cursor[idx] += 1;
+                }
+            }
+        }
+        return;
+    }
+    // Shards write through a shared raw pointer; the slot sets are
+    // disjoint (argued above), so the writes cannot race.
+    struct IndexPtr(*mut u32);
+    unsafe impl Sync for IndexPtr {}
+    let out = IndexPtr(indices.as_mut_ptr());
+    let out = &out;
+    rayon::scope(|s| {
+        for (w, mut cursor) in parts.into_iter().enumerate() {
+            s.spawn(move |_| {
+                let range = crate::par::shard_range(splats.len(), shards, w);
+                let start = range.start;
+                for (off, splat) in splats[range].iter().enumerate() {
+                    for (tx, ty) in splat.tiles.iter() {
+                        let idx = (ty * tiles_x + tx) as usize;
+                        if active[idx] {
+                            // SAFETY: `cursor[idx]` stays inside this
+                            // shard's slot range for tile `idx`,
+                            // disjoint from every other shard's.
+                            unsafe {
+                                *out.0.add(cursor[idx] as usize) =
+                                    index_base + (start + off) as u32;
+                            }
+                            cursor[idx] += 1;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Per-tile splat index lists, depth-sorted front-to-back, in a flat CSR
 /// layout.
 ///
@@ -87,7 +150,7 @@ impl TileBins {
     /// holds. Splat duplications into inactive tiles are skipped entirely —
     /// this is the foveation Filtering stage: a quality level only pays for
     /// the tiles inside its region (plus blend bands).
-    pub fn build_filtered<F: FnMut(u32, u32) -> bool>(
+    pub fn build_filtered<F: Fn(u32, u32) -> bool + Sync>(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
         tile_active: F,
@@ -98,9 +161,10 @@ impl TileBins {
     /// [`TileBins::build_filtered`] on `threads` workers (see
     /// [`TileBins::build_with_threads`] for the determinism argument).
     ///
-    /// The activity predicate is evaluated once per tile up front on the
-    /// calling thread, so it may be `FnMut` and need not be `Sync`.
-    pub fn build_filtered_with_threads<F: FnMut(u32, u32) -> bool>(
+    /// The predicate bound is `Fn + Sync`, matching the projection
+    /// admission predicate (PR 4), so one predicate can drive filtered
+    /// builds across workers — and across chunks — without cloning tricks.
+    pub fn build_filtered_with_threads<F: Fn(u32, u32) -> bool + Sync>(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
         tile_active: F,
@@ -134,10 +198,10 @@ impl TileBins {
     /// vectors per frame. Contents are rebuilt from scratch — only the
     /// capacity is reused — so the result is identical to the allocating
     /// builds.
-    pub fn build_filtered_with_threads_into<F: FnMut(u32, u32) -> bool>(
+    pub fn build_filtered_with_threads_into<F: Fn(u32, u32) -> bool + Sync>(
         splats: &[ProjectedSplat],
         grid: TileGridDims,
-        mut tile_active: F,
+        tile_active: F,
         threads: usize,
         mut offsets: Vec<u32>,
         mut indices: Vec<u32>,
@@ -198,48 +262,15 @@ impl TileBins {
                 base[t] += count;
             }
         }
-        if shards <= 1 {
-            let cursor = &mut parts[0];
-            for (si, splat) in splats.iter().enumerate() {
-                for (tx, ty) in splat.tiles.iter() {
-                    let idx = (ty * grid.tiles_x + tx) as usize;
-                    if active[idx] {
-                        indices[cursor[idx] as usize] = si as u32;
-                        cursor[idx] += 1;
-                    }
-                }
-            }
-        } else {
-            // Shards write through a shared raw pointer; the slot sets are
-            // disjoint (argued above), so the writes cannot race.
-            struct IndexPtr(*mut u32);
-            unsafe impl Sync for IndexPtr {}
-            let out = IndexPtr(indices.as_mut_ptr());
-            let out = &out;
-            let active = &active;
-            rayon::scope(|s| {
-                for (w, mut cursor) in parts.into_iter().enumerate() {
-                    s.spawn(move |_| {
-                        let range = crate::par::shard_range(splats.len(), shards, w);
-                        let start = range.start;
-                        for (off, splat) in splats[range].iter().enumerate() {
-                            for (tx, ty) in splat.tiles.iter() {
-                                let idx = (ty * grid.tiles_x + tx) as usize;
-                                if active[idx] {
-                                    // SAFETY: `cursor[idx]` stays inside this
-                                    // shard's slot range for tile `idx`,
-                                    // disjoint from every other shard's.
-                                    unsafe {
-                                        *out.0.add(cursor[idx] as usize) = (start + off) as u32;
-                                    }
-                                    cursor[idx] += 1;
-                                }
-                            }
-                        }
-                    });
-                }
-            });
-        }
+        scatter_shards(
+            splats,
+            grid.tiles_x,
+            &active,
+            shards,
+            parts,
+            0,
+            &mut indices,
+        );
 
         // Depth-sort each tile segment front-to-back. `sort_by` is stable,
         // so equal depths keep submission order, matching the previous
@@ -414,6 +445,204 @@ impl TileBins {
     /// next frame's build; contents are rebuilt from scratch there.
     pub fn into_buffers(self) -> (Vec<u32>, Vec<u32>) {
         (self.offsets, self.indices)
+    }
+}
+
+/// Incremental two-pass CSR build over a *stream* of splat chunks — the
+/// binning half of the chunked [`ms_scene::SceneSource`] render path.
+///
+/// Usage mirrors the two passes of [`TileBins::build_with_threads`], spread
+/// across chunks:
+///
+/// 1. [`count_chunk`](ChunkedBinBuilder::count_chunk) once per chunk —
+///    accumulates per-tile intersection counts (integer sums, so chunking
+///    cannot change them);
+/// 2. [`seal`](ChunkedBinBuilder::seal) — exclusive prefix sum over the
+///    accumulated counts (identical to the in-core offsets) and
+///    initializes one persistent cursor per tile;
+/// 3. [`scatter_chunk`](ChunkedBinBuilder::scatter_chunk) once per chunk,
+///    in the same chunk order — re-counts the chunk per shard, offsets the
+///    shard cursors by the persistent cursors, scatters global splat
+///    indices (`splat_index_base` + chunk-local), then advances the
+///    persistent cursors past the chunk;
+/// 4. [`finish`](ChunkedBinBuilder::finish) — depth-sorts every tile
+///    segment.
+///
+/// Chunks partition the splat sequence contiguously and scatter in order,
+/// so each tile segment fills in global splat order — exactly the in-core
+/// fill — and the pre-sort index array is bit-identical to
+/// [`TileBins::build_with_threads`] over the concatenated splats for every
+/// chunk size, shard count and thread count.
+#[derive(Debug)]
+pub(crate) struct ChunkedBinBuilder {
+    grid: TileGridDims,
+    threads: usize,
+    /// All-true tile mask (the chunked path has no Filtering stage), kept
+    /// as a vec so the counting/scatter helpers are shared with the
+    /// filtered in-core build.
+    active: Vec<bool>,
+    /// Per-tile intersection counts accumulated across chunks (pass 1),
+    /// then reused as scratch for converting shard counts to cursors.
+    counts: Vec<u32>,
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+    /// Persistent per-tile write cursors for the streamed pass 2.
+    cursors: Vec<u32>,
+    sealed: bool,
+}
+
+impl ChunkedBinBuilder {
+    /// A builder for `grid` running on `threads` workers (`0` = all pool
+    /// workers), reusing recycled CSR storage like
+    /// [`TileBins::build_filtered_with_threads_into`].
+    pub(crate) fn new(grid: TileGridDims, threads: usize, recycle: (Vec<u32>, Vec<u32>)) -> Self {
+        let threads = if threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            threads
+        };
+        let tile_count = grid.tile_count();
+        Self {
+            grid,
+            threads,
+            active: vec![true; tile_count],
+            counts: vec![0u32; tile_count],
+            offsets: recycle.0,
+            indices: recycle.1,
+            cursors: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    fn shards_for(&self, splat_count: usize) -> usize {
+        self.threads.min(splat_count / MIN_SPLATS_PER_SHARD).max(1)
+    }
+
+    /// Pass 1 for one chunk: accumulate its per-tile intersection counts.
+    pub(crate) fn count_chunk(&mut self, splats: &[ProjectedSplat]) {
+        debug_assert!(!self.sealed, "count_chunk after seal");
+        let shards = self.shards_for(splats.len());
+        if shards <= 1 {
+            count_range(
+                splats,
+                0..splats.len(),
+                self.grid.tiles_x,
+                &self.active,
+                &mut self.counts,
+            );
+            return;
+        }
+        let parts = crate::par::shard_map(splats.len(), shards, |range| {
+            let mut part = vec![0u32; self.grid.tile_count()];
+            count_range(splats, range, self.grid.tiles_x, &self.active, &mut part);
+            part
+        });
+        for part in parts {
+            for (acc, v) in self.counts.iter_mut().zip(part) {
+                *acc = acc
+                    .checked_add(v)
+                    .expect("tile-intersection count overflows u32 CSR offsets");
+            }
+        }
+    }
+
+    /// End of pass 1: prefix-sum the accumulated counts into CSR offsets,
+    /// size the index array, and set every tile's persistent cursor to its
+    /// segment start. Returns the total intersection count.
+    pub(crate) fn seal(&mut self) -> u64 {
+        debug_assert!(!self.sealed, "seal called twice");
+        let tile_count = self.grid.tile_count();
+        self.offsets.clear();
+        self.offsets.reserve(tile_count + 1);
+        let mut running = 0u32;
+        self.offsets.push(0);
+        for t in 0..tile_count {
+            running = running
+                .checked_add(self.counts[t])
+                .expect("tile-intersection count overflows u32 CSR offsets");
+            self.offsets.push(running);
+        }
+        self.indices.clear();
+        self.indices.resize(running as usize, 0);
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..tile_count]);
+        self.sealed = true;
+        running as u64
+    }
+
+    /// Pass 2 for one chunk (chunks must arrive in the same order as
+    /// pass 1): scatter the chunk's splats into the CSR segments as global
+    /// indices `splat_index_base + local`, advancing the persistent
+    /// cursors.
+    pub(crate) fn scatter_chunk(&mut self, splats: &[ProjectedSplat], splat_index_base: u32) {
+        debug_assert!(self.sealed, "scatter_chunk before seal");
+        let tile_count = self.grid.tile_count();
+        let shards = self.shards_for(splats.len());
+        // Re-count the chunk per shard (cheaper than keeping every chunk's
+        // pass-1 shard counts resident — residency is the whole point).
+        let mut parts = if shards <= 1 {
+            let mut part = vec![0u32; tile_count];
+            count_range(
+                splats,
+                0..splats.len(),
+                self.grid.tiles_x,
+                &self.active,
+                &mut part,
+            );
+            vec![part]
+        } else {
+            crate::par::shard_map(splats.len(), shards, |range| {
+                let mut part = vec![0u32; tile_count];
+                count_range(splats, range, self.grid.tiles_x, &self.active, &mut part);
+                part
+            })
+        };
+        // Shard counts → absolute cursors: persistent cursor plus the
+        // chunk's earlier shards. `counts` doubles as the within-chunk
+        // accumulator here (pass 1 is over once sealed).
+        let chunk_total = &mut self.counts;
+        chunk_total.iter_mut().for_each(|c| *c = 0);
+        for part in parts.iter_mut() {
+            for (t, c) in part.iter_mut().enumerate() {
+                let count = *c;
+                *c = self.cursors[t] + chunk_total[t];
+                chunk_total[t] += count;
+            }
+        }
+        scatter_shards(
+            splats,
+            self.grid.tiles_x,
+            &self.active,
+            shards,
+            parts,
+            splat_index_base,
+            &mut self.indices,
+        );
+        for (cursor, total) in self.cursors.iter_mut().zip(chunk_total.iter()) {
+            *cursor += total;
+        }
+    }
+
+    /// Depth-sort every tile segment and produce the bins. `splats` is the
+    /// full concatenated visible-splat sequence the stored indices refer
+    /// into.
+    pub(crate) fn finish(mut self, splats: &[ProjectedSplat]) -> TileBins {
+        debug_assert!(self.sealed, "finish before seal");
+        debug_assert!(
+            self.cursors
+                .iter()
+                .enumerate()
+                .all(|(t, &c)| c == self.offsets[t + 1]),
+            "scatter did not fill every tile segment"
+        );
+        let tile_count = self.grid.tile_count();
+        let shards = self.shards_for(splats.len());
+        TileBins::sort_segments(splats, &self.offsets, &mut self.indices, tile_count, shards);
+        TileBins {
+            grid: self.grid,
+            offsets: self.offsets,
+            indices: self.indices,
+        }
     }
 }
 
@@ -1022,6 +1251,43 @@ mod tests {
         assert_eq!(s.units().len(), g.tile_count());
         assert_eq!(s.merged_tiles(), 0);
         assert_partition(&s, g);
+    }
+
+    #[test]
+    fn chunked_builder_is_bit_identical_to_in_core() {
+        let g = grid();
+        let mut rng = StdRng::seed_from_u64(99);
+        let splats = random_splats(&mut rng, 4000, g);
+        let reference = TileBins::build(&splats, g);
+        for chunk in [1usize, 173, 512, 4096, 10_000] {
+            for threads in [1usize, 2, 3, 8, 0] {
+                let mut b = ChunkedBinBuilder::new(g, threads, (Vec::new(), Vec::new()));
+                for c in splats.chunks(chunk) {
+                    b.count_chunk(c);
+                }
+                let total = b.seal();
+                assert_eq!(total, reference.total_intersections());
+                let mut base = 0u32;
+                for c in splats.chunks(chunk) {
+                    b.scatter_chunk(c, base);
+                    base += c.len() as u32;
+                }
+                let bins = b.finish(&splats);
+                assert_eq!(
+                    bins, reference,
+                    "chunked bins differ at chunk={chunk} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_builder_handles_empty_stream() {
+        let g = grid();
+        let mut b = ChunkedBinBuilder::new(g, 2, (Vec::new(), Vec::new()));
+        assert_eq!(b.seal(), 0);
+        let bins = b.finish(&[]);
+        assert_eq!(bins, TileBins::build(&[], g));
     }
 
     #[test]

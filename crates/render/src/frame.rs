@@ -24,15 +24,74 @@
 //! cleared before reuse, so arenas never leak data between frames (or
 //! sessions) and `FrameArena::default()` is always a valid cold start.
 
-use crate::binning::{MergedTileSchedule, TileBins};
+use crate::binning::{ChunkedBinBuilder, MergedTileSchedule, TileBins};
+use crate::options::RenderOptions;
 use crate::pipeline::{
     BinStage, CompositeStage, Composited, MergeStage, Profiler, ProjectStage, RasterStage,
     StageKind,
 };
-use crate::projection::ProjectedSplat;
+use crate::projection::{project_model_offset_into, ProjectedSplat};
 use crate::raster::{RasterScratch, RenderOutput, Renderer, UnitResult};
 use crate::stats::TileGridDims;
-use ms_scene::{Camera, GaussianModel};
+use ms_scene::{Camera, GaussianModel, SceneSource};
+use std::time::{Duration, Instant};
+
+/// The scene a frame reads its splats from: either a fully resident
+/// [`GaussianModel`] (the classic path) or an out-of-core
+/// [`SceneSource`](ms_scene::SceneSource) streamed chunk by chunk.
+///
+/// A `SceneRef` is a borrow, cheap to copy; the frame machinery never
+/// clones the underlying data. `&GaussianModel` converts implicitly
+/// (`From`), so in-core call sites read exactly as before. With LOD off,
+/// the chunked path is bit-identical to the in-core path over the
+/// concatenated chunks — pixels, winners and every work counter — for
+/// every chunk size and thread count (see `tests/determinism.rs`).
+#[derive(Clone, Copy)]
+pub enum SceneRef<'a> {
+    /// The whole model resident in one `Vec`-of-arrays.
+    InCore(&'a GaussianModel),
+    /// A chunked source with a bounded resident budget; only one chunk of
+    /// it is materialized at a time while the frame streams Project + Bin.
+    Chunked(&'a (dyn SceneSource + Sync)),
+}
+
+impl<'a> From<&'a GaussianModel> for SceneRef<'a> {
+    fn from(model: &'a GaussianModel) -> Self {
+        SceneRef::InCore(model)
+    }
+}
+
+impl SceneRef<'_> {
+    /// Total number of points in the scene (the chunked total is the sum
+    /// over chunks — the same count the concatenated in-core model has).
+    pub fn total_points(&self) -> usize {
+        match self {
+            SceneRef::InCore(model) => model.len(),
+            SceneRef::Chunked(source) => source.total_points(),
+        }
+    }
+
+    /// Whether this scene streams through the chunked Project/Bin path.
+    pub fn is_chunked(&self) -> bool {
+        matches!(self, SceneRef::Chunked(_))
+    }
+}
+
+impl std::fmt::Debug for SceneRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SceneRef::InCore(model) => f
+                .debug_struct("SceneRef::InCore")
+                .field("points", &model.len())
+                .finish(),
+            SceneRef::Chunked(source) => f
+                .debug_struct("SceneRef::Chunked")
+                .field("points", &source.total_points())
+                .field("chunks", &source.chunk_count())
+                .finish(),
+        }
+    }
+}
 
 /// Recyclable scratch storage for one frame: the projected-splat vector,
 /// the CSR `(offsets, indices)` buffers, and the Raster stage's per-worker
@@ -54,11 +113,94 @@ fn admit_all(_point: usize) -> bool {
     true
 }
 
+/// Unwrap the chunked source a streaming frame step was begun with,
+/// mirroring the in-core arm's scene-kind and size checks.
+fn expect_chunked<'a>(scene: SceneRef<'a>, model_len: usize) -> &'a (dyn SceneSource + Sync) {
+    let SceneRef::Chunked(source) = scene else {
+        panic!("frame begun on a chunked source driven with an in-core model")
+    };
+    debug_assert_eq!(
+        source.total_points(),
+        model_len,
+        "source changed size since begin_frame"
+    );
+    source
+}
+
+/// Load chunk `index` into the reused `chunk` buffer and project it into
+/// `scratch` with its global point-index base, so projected `point_index`
+/// values match the concatenated in-core model's.
+///
+/// # Panics
+///
+/// Panics when the source fails to deliver the chunk (I/O or decode
+/// error) — the frame machine has no error channel, and a frame that
+/// silently dropped a chunk would violate the bit-identity contract.
+fn load_and_project(
+    source: &(dyn SceneSource + Sync),
+    index: usize,
+    camera: &Camera,
+    options: &RenderOptions,
+    chunk: &mut GaussianModel,
+    scratch: &mut Vec<ProjectedSplat>,
+) {
+    source
+        .load_chunk_into(index, chunk)
+        .unwrap_or_else(|e| panic!("loading scene chunk {index} failed: {e}"));
+    let base = u32::try_from(source.chunk_base(index)).expect("scene exceeds u32 point indexing");
+    project_model_offset_into(chunk, camera, options, base, &admit_all, scratch);
+}
+
 /// Where a [`FrameInFlight`] is in the Project → Bin → Merge → Raster →
 /// Composite pipeline, carrying the intermediates produced so far.
 enum State {
     /// Nothing ran yet; holds the recycled arena.
     Project { arena: FrameArena },
+    /// Streaming pass 1 over a chunked source (reported as the Project
+    /// stage): each [`run_stage`](FrameInFlight::run_stage) call loads one
+    /// chunk, projects it into the recycled `scratch` buffer with its
+    /// global point-index base, and accumulates per-tile intersection
+    /// counts into the builder — then drops the chunk. Only one chunk (and
+    /// one chunk's projection) is ever resident.
+    ChunkCount {
+        builder: ChunkedBinBuilder,
+        /// Reused chunk-decode buffer (the resident-budget unit).
+        chunk: GaussianModel,
+        /// Reused per-chunk projection buffer.
+        scratch: Vec<ProjectedSplat>,
+        /// The final visible-splat vector (filled during pass 2); carried
+        /// here so the arena's recycled capacity is not dropped.
+        splats: Vec<ProjectedSplat>,
+        /// Next chunk index of pass 1.
+        next: usize,
+        /// Accumulated wall time attributed to the Project sample.
+        project_wall: Duration,
+        /// Accumulated wall time attributed to the Bin sample.
+        bin_wall: Duration,
+        /// Running peaks for the frame-profile memory counters.
+        chunk_bytes_peak: u64,
+        projected_bytes_peak: u64,
+    },
+    /// Streaming pass 2 over the same chunks in the same order (reported
+    /// as the Bin stage): re-project one chunk per call, scatter its CSR
+    /// indices with persistent per-tile cursors, and append its projection
+    /// to the visible-splat vector. After the last chunk the tile segments
+    /// are depth-sorted and the frame joins the in-core pipeline at Merge.
+    ChunkScatter {
+        builder: ChunkedBinBuilder,
+        chunk: GaussianModel,
+        scratch: Vec<ProjectedSplat>,
+        splats: Vec<ProjectedSplat>,
+        /// Next chunk index of pass 2.
+        next: usize,
+        /// Total intersections from [`ChunkedBinBuilder::seal`] — the Bin
+        /// sample's work counter.
+        total_intersections: u64,
+        project_wall: Duration,
+        bin_wall: Duration,
+        chunk_bytes_peak: u64,
+        projected_bytes_peak: u64,
+    },
     /// Project done.
     Bin {
         splats: Vec<ProjectedSplat>,
@@ -115,6 +257,10 @@ pub struct FrameInFlight {
     /// Raster stage can borrow it mutably alongside the pipeline state;
     /// rejoins the arena in [`finish`](Self::finish).
     raster_scratch: Vec<RasterScratch>,
+    /// `(chunk_bytes_peak, projected_bytes_peak)` measured by the chunked
+    /// streaming passes; `None` on the in-core path, whose peaks are
+    /// derived from the final splat vector when the output is assembled.
+    peaks: Option<(u64, u64)>,
 }
 
 impl std::fmt::Debug for FrameInFlight {
@@ -131,16 +277,47 @@ impl std::fmt::Debug for FrameInFlight {
 }
 
 impl FrameInFlight {
-    /// Start a frame at the Project stage. Callers go through
-    /// [`Renderer::begin_frame`], which performs the camera checks first.
-    pub(crate) fn new(camera: Camera, model_len: usize, mut arena: FrameArena) -> Self {
+    /// Start a frame at the Project stage (in-core scenes) or at the
+    /// chunk-counting pass (chunked sources). Callers go through
+    /// [`Renderer::begin_frame`] / [`Renderer::begin_frame_source`], which
+    /// perform the camera checks first.
+    pub(crate) fn new(
+        camera: Camera,
+        scene: SceneRef<'_>,
+        options: &RenderOptions,
+        mut arena: FrameArena,
+    ) -> Self {
         let raster_scratch = std::mem::take(&mut arena.raster);
+        let state = match scene {
+            SceneRef::InCore(_) => State::Project { arena },
+            SceneRef::Chunked(_) => {
+                let grid = TileGridDims::for_image(camera.width, camera.height, options.tile_size);
+                let mut splats = arena.splats;
+                splats.clear();
+                State::ChunkCount {
+                    builder: ChunkedBinBuilder::new(
+                        grid,
+                        options.resolved_threads(),
+                        (arena.offsets, arena.indices),
+                    ),
+                    chunk: GaussianModel::new(0),
+                    scratch: Vec::new(),
+                    splats,
+                    next: 0,
+                    project_wall: Duration::ZERO,
+                    bin_wall: Duration::ZERO,
+                    chunk_bytes_peak: 0,
+                    projected_bytes_peak: 0,
+                }
+            }
+        };
         Self {
             camera,
-            model_len,
+            model_len: scene.total_points(),
             profiler: Profiler::default(),
-            state: State::Project { arena },
+            state,
             raster_scratch,
+            peaks: None,
         }
     }
 
@@ -158,8 +335,8 @@ impl FrameInFlight {
     /// or `None` once the frame is done.
     pub fn next_stage(&self) -> Option<StageKind> {
         match self.state {
-            State::Project { .. } => Some(StageKind::Project),
-            State::Bin { .. } => Some(StageKind::Bin),
+            State::Project { .. } | State::ChunkCount { .. } => Some(StageKind::Project),
+            State::Bin { .. } | State::ChunkScatter { .. } => Some(StageKind::Bin),
             State::Merge { .. } => Some(StageKind::Merge),
             State::Raster { .. } => Some(StageKind::Raster),
             State::Composite { .. } => Some(StageKind::Composite),
@@ -168,21 +345,33 @@ impl FrameInFlight {
         }
     }
 
-    /// Execute the next pipeline stage; returns `true` once the frame is
-    /// done. `renderer` and `model` must be the ones the frame was begun
+    /// Execute the next pipeline step; returns `true` once the frame is
+    /// done. `renderer` and `scene` must be the ones the frame was begun
     /// with — the frame carries no back-references so it can be `Send` and
     /// self-contained, and the frame server guarantees the pairing by
-    /// owning both.
+    /// owning both. `scene` accepts a plain `&GaussianModel` (in-core
+    /// frames) or a [`SceneRef`].
+    ///
+    /// In-core frames advance exactly one pipeline stage per call. Chunked
+    /// frames advance one *chunk* per call while in the streaming Project
+    /// and Bin passes (so a frame server interleaves chunk work across
+    /// sessions at the same granularity it interleaves stages), then one
+    /// stage per call from Merge on.
     ///
     /// # Panics
     ///
-    /// Panics when called on a finished or poisoned frame, or (debug only)
-    /// when `model` has a different length than at
+    /// Panics when called on a finished or poisoned frame, when the scene
+    /// kind differs from the one the frame was begun with, when a chunk
+    /// fails to load, or (debug only) when the scene changed size since
     /// [`Renderer::begin_frame`].
-    pub fn run_stage(&mut self, renderer: &Renderer, model: &GaussianModel) -> bool {
+    pub fn run_stage<'a>(&mut self, renderer: &Renderer, scene: impl Into<SceneRef<'a>>) -> bool {
+        let scene = scene.into();
         let options = renderer.options();
         self.state = match std::mem::replace(&mut self.state, State::Poisoned) {
             State::Project { arena } => {
+                let SceneRef::InCore(model) = scene else {
+                    panic!("frame begun on an in-core model driven with a chunked source")
+                };
                 debug_assert_eq!(
                     model.len(),
                     self.model_len,
@@ -199,6 +388,133 @@ impl FrameInFlight {
                 State::Bin {
                     splats,
                     recycle: (arena.offsets, arena.indices),
+                }
+            }
+            State::ChunkCount {
+                mut builder,
+                mut chunk,
+                mut scratch,
+                splats,
+                mut next,
+                mut project_wall,
+                mut bin_wall,
+                mut chunk_bytes_peak,
+                mut projected_bytes_peak,
+            } => {
+                let source = expect_chunked(scene, self.model_len);
+                if next < source.chunk_count() {
+                    let start = Instant::now();
+                    load_and_project(
+                        source,
+                        next,
+                        &self.camera,
+                        options,
+                        &mut chunk,
+                        &mut scratch,
+                    );
+                    project_wall += start.elapsed();
+                    let start = Instant::now();
+                    builder.count_chunk(&scratch);
+                    bin_wall += start.elapsed();
+                    chunk_bytes_peak = chunk_bytes_peak.max(chunk.storage_bytes() as u64);
+                    projected_bytes_peak = projected_bytes_peak
+                        .max((scratch.len() * std::mem::size_of::<ProjectedSplat>()) as u64);
+                    next += 1;
+                }
+                if next == source.chunk_count() {
+                    let start = Instant::now();
+                    let total_intersections = builder.seal();
+                    bin_wall += start.elapsed();
+                    State::ChunkScatter {
+                        builder,
+                        chunk,
+                        scratch,
+                        splats,
+                        next: 0,
+                        total_intersections,
+                        project_wall,
+                        bin_wall,
+                        chunk_bytes_peak,
+                        projected_bytes_peak,
+                    }
+                } else {
+                    State::ChunkCount {
+                        builder,
+                        chunk,
+                        scratch,
+                        splats,
+                        next,
+                        project_wall,
+                        bin_wall,
+                        chunk_bytes_peak,
+                        projected_bytes_peak,
+                    }
+                }
+            }
+            State::ChunkScatter {
+                mut builder,
+                mut chunk,
+                mut scratch,
+                mut splats,
+                mut next,
+                total_intersections,
+                mut project_wall,
+                mut bin_wall,
+                mut chunk_bytes_peak,
+                mut projected_bytes_peak,
+            } => {
+                let source = expect_chunked(scene, self.model_len);
+                if next < source.chunk_count() {
+                    let start = Instant::now();
+                    load_and_project(
+                        source,
+                        next,
+                        &self.camera,
+                        options,
+                        &mut chunk,
+                        &mut scratch,
+                    );
+                    project_wall += start.elapsed();
+                    let start = Instant::now();
+                    // CSR indices address the *visible-splat* vector, so the
+                    // chunk's scatter base is where its projection lands in
+                    // that vector — chunks append in order, making every
+                    // tile segment fill in global splat order (the in-core
+                    // fill) for any chunk size.
+                    builder.scatter_chunk(&scratch, splats.len() as u32);
+                    bin_wall += start.elapsed();
+                    splats.extend_from_slice(&scratch);
+                    chunk_bytes_peak = chunk_bytes_peak.max(chunk.storage_bytes() as u64);
+                    projected_bytes_peak = projected_bytes_peak
+                        .max((scratch.len() * std::mem::size_of::<ProjectedSplat>()) as u64);
+                    next += 1;
+                }
+                if next == source.chunk_count() {
+                    let start = Instant::now();
+                    let bins = builder.finish(&splats);
+                    bin_wall += start.elapsed();
+                    // One aggregate sample per stage, so chunked profiles
+                    // carry the same sample sequence (and equal kind/items
+                    // pairs) as in-core ones.
+                    self.profiler
+                        .record(StageKind::Project, project_wall, splats.len() as u64);
+                    self.profiler
+                        .record(StageKind::Bin, bin_wall, total_intersections);
+                    self.peaks = Some((chunk_bytes_peak, projected_bytes_peak));
+                    State::Merge { splats, bins }
+                } else {
+                    State::ChunkScatter {
+                        builder,
+                        chunk,
+                        scratch,
+                        splats,
+                        next,
+                        total_intersections,
+                        project_wall,
+                        bin_wall,
+                        chunk_bytes_peak,
+                        projected_bytes_peak,
+                    }
                 }
             }
             State::Bin { splats, recycle } => {
@@ -289,7 +605,7 @@ impl FrameInFlight {
         else {
             panic!("finish called before the frame completed");
         };
-        let output = crate::raster::assemble_output(
+        let mut output = crate::raster::assemble_output(
             renderer.options(),
             self.model_len,
             &splats,
@@ -298,6 +614,13 @@ impl FrameInFlight {
             composited,
             self.profiler,
         );
+        // The chunked streaming passes measured their own residency peaks
+        // (bounded by the chunk size); the in-core defaults from
+        // `assemble_output` stand otherwise.
+        if let Some((chunk_peak, projected_peak)) = self.peaks {
+            output.stats.profile.chunk_bytes_peak = chunk_peak;
+            output.stats.profile.projected_bytes_peak = projected_peak;
+        }
         splats.clear();
         let (mut offsets, mut indices) = bins.into_buffers();
         offsets.clear();
@@ -412,5 +735,76 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<FrameInFlight>();
         assert_send::<FrameArena>();
+    }
+
+    #[test]
+    fn chunked_render_matches_in_core_for_every_chunk_size() {
+        let (model, camera) = scene();
+        let renderer = Renderer::new(crate::RenderOptions::with_point_stats());
+        let reference = renderer.render(&model, &camera);
+        let mut arena = FrameArena::default();
+        for chunk_splats in [1, 7, 39, 40, 1000] {
+            let source = ms_scene::InCoreSource::new(model.clone(), chunk_splats);
+            let out;
+            (out, arena) = renderer.render_source_with_arena(&source, &camera, arena);
+            assert_eq!(out, reference, "chunk size {chunk_splats}");
+            // Profile equality compares (kind, items) pairs — the chunked
+            // aggregate samples must mirror the in-core stage sequence.
+            assert_eq!(
+                out.stats.profile, reference.stats.profile,
+                "chunk size {chunk_splats}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_peak_counters_are_bounded_by_chunk_size() {
+        let (model, camera) = scene();
+        let renderer = Renderer::default();
+        let reference = renderer.render(&model, &camera);
+        // In-core: no chunk buffer, projection scratch is the whole
+        // visible-splat vector.
+        assert_eq!(reference.stats.profile.chunk_bytes_peak, 0);
+        assert_eq!(
+            reference.stats.profile.projected_bytes_peak,
+            (reference.stats.points_projected * std::mem::size_of::<ProjectedSplat>()) as u64
+        );
+        let chunk_splats = 7;
+        let source = ms_scene::InCoreSource::new(model.clone(), chunk_splats);
+        let out = renderer.render_source(&source, &camera);
+        let chunked = &out.stats.profile;
+        assert!(chunked.chunk_bytes_peak > 0);
+        // One chunk's worth of points bounds both peaks, model size does not.
+        let max_chunk_bytes = {
+            let mut probe = GaussianModel::new(0);
+            model.clone_range_into(0..chunk_splats, &mut probe);
+            probe.storage_bytes() as u64
+        };
+        assert!(chunked.chunk_bytes_peak <= max_chunk_bytes);
+        assert!(
+            chunked.projected_bytes_peak
+                <= (chunk_splats * std::mem::size_of::<ProjectedSplat>()) as u64
+        );
+        assert!(chunked.projected_bytes_peak < reference.stats.profile.projected_bytes_peak);
+    }
+
+    #[test]
+    fn empty_model_renders_clear_frame_in_core_and_chunked() {
+        let model = GaussianModel::new(0);
+        let camera = Camera::look_at(32, 24, 60.0, Vec3::new(0.0, 0.0, 3.0), Vec3::zero());
+        let renderer = Renderer::new(crate::RenderOptions {
+            background: Vec3::new(0.1, 0.2, 0.3),
+            ..crate::RenderOptions::default()
+        });
+        let reference = renderer.render(&model, &camera);
+        for px in 0..32u32 {
+            assert_eq!(reference.image.pixel(px, 11), Vec3::new(0.1, 0.2, 0.3));
+        }
+        // An empty model is a 0-chunk source; the streaming passes must
+        // degenerate cleanly instead of indexing a first chunk.
+        let source = ms_scene::InCoreSource::new(model, 4096);
+        assert_eq!(source.chunk_count(), 0);
+        let out = renderer.render_source(&source, &camera);
+        assert_eq!(out, reference);
     }
 }

@@ -178,6 +178,22 @@ pub struct FrameProfile {
     /// work units (see [`RasterWork`] for the per-path semantics; all
     /// zeros under the scalar kernel, which stages nothing).
     pub raster: RasterWork,
+    /// Peak bytes of source-model data resident at once: the largest
+    /// chunk's [`storage_bytes`](ms_scene::GaussianModel::storage_bytes) on
+    /// the chunked path, `0` on the in-core path (the model is the caller's,
+    /// not the frame's). Deterministic per configuration; excluded from
+    /// profile equality like wall times.
+    #[serde(default)]
+    pub chunk_bytes_peak: u64,
+    /// Peak bytes of projected-splat scratch resident at once: the largest
+    /// per-chunk projection buffer on the chunked path (bounded by the
+    /// chunk size — the memory claim the chunked pipeline exists for), or
+    /// the whole visible splat vector on the in-core path. The final
+    /// visible splat set the rasterizer consumes is counted separately by
+    /// neither — it is the frame's working set, identical on both paths.
+    /// Deterministic per configuration; excluded from profile equality.
+    #[serde(default)]
+    pub projected_bytes_peak: u64,
 }
 
 /// Equality compares the *semantic* part of the profile — stage kinds and
@@ -249,6 +265,8 @@ impl FrameProfile {
             }
         }
         self.raster.accumulate(&other.raster);
+        self.chunk_bytes_peak = self.chunk_bytes_peak.max(other.chunk_bytes_peak);
+        self.projected_bytes_peak = self.projected_bytes_peak.max(other.projected_bytes_peak);
     }
 }
 
@@ -292,13 +310,26 @@ impl Profiler {
         out
     }
 
+    /// Record a pre-timed sample. The chunked scene path runs Project and
+    /// Bin incrementally (one chunk per pump) and cannot hand [`Profiler::run`]
+    /// a single closure per stage, so it accumulates wall time and work
+    /// counters itself and deposits one aggregate sample per stage here —
+    /// keeping the sample sequence (and thus profile equality) identical to
+    /// the in-core pipeline's.
+    pub(crate) fn record(&mut self, kind: StageKind, wall: Duration, items: u64) {
+        self.samples.push(StageSample { kind, wall, items });
+    }
+
     /// Finish the frame, yielding its profile. The [`RasterWork`] counters
     /// start zeroed — the pipeline driver fills them in from the Composite
-    /// stage's per-unit sums.
+    /// stage's per-unit sums; the memory-peak counters likewise start zeroed
+    /// and are filled in when the output is assembled.
     pub fn finish(self) -> FrameProfile {
         FrameProfile {
             samples: self.samples,
             raster: RasterWork::default(),
+            chunk_bytes_peak: 0,
+            projected_bytes_peak: 0,
         }
     }
 }

@@ -120,18 +120,23 @@ impl FrameContext {
 }
 
 /// Project points `range` of `model`, appending surviving splats to `out`
-/// in point-index order.
+/// in point-index order. `base` is the model's offset within a larger scene
+/// (the chunked [`ms_scene::SceneSource`] path): stored point indices and
+/// the admission predicate both see `base + i`. The in-core path passes 0,
+/// making `base` arithmetically invisible there.
+#[allow(clippy::too_many_arguments)]
 fn project_range<F: Fn(usize) -> bool>(
     ctx: &FrameContext,
     model: &GaussianModel,
     camera: &Camera,
     options: &RenderOptions,
+    base: u32,
     range: std::ops::Range<usize>,
     admit: &F,
     out: &mut Vec<ProjectedSplat>,
 ) {
     for i in range {
-        if !admit(i) {
+        if !admit(base as usize + i) {
             continue;
         }
         let opacity = model.opacities[i];
@@ -179,7 +184,7 @@ fn project_range<F: Fn(usize) -> bool>(
         let view_dir = world_pos - camera.eye;
         let color = ms_math::sh::eval_color(ctx.sh_degree, view_dir, model.sh(i));
         out.push(ProjectedSplat {
-            point_index: i as u32,
+            point_index: base + i as u32,
             center,
             conic,
             depth,
@@ -230,6 +235,23 @@ pub fn project_model_filtered_into<F: Fn(usize) -> bool + Sync>(
     admit: &F,
     out: &mut Vec<ProjectedSplat>,
 ) {
+    project_model_offset_into(model, camera, options, 0, admit, out);
+}
+
+/// [`project_model_filtered_into`] for a model that is a chunk of a larger
+/// scene starting at global point index `base`: stored `point_index` values
+/// are `base + i` and the admission predicate sees global indices. With
+/// `base == 0` this *is* `project_model_filtered_into` — same arithmetic,
+/// bit-identical output — which is what makes chunked projection (chunks
+/// concatenated in order) equal to in-core projection of the flat model.
+pub fn project_model_offset_into<F: Fn(usize) -> bool + Sync>(
+    model: &GaussianModel,
+    camera: &Camera,
+    options: &RenderOptions,
+    base: u32,
+    admit: &F,
+    out: &mut Vec<ProjectedSplat>,
+) {
     out.clear();
     let ctx = FrameContext::new(model, camera, options);
     let n = model.len();
@@ -242,12 +264,12 @@ pub fn project_model_filtered_into<F: Fn(usize) -> bool + Sync>(
     // concatenate, preserving model order exactly. `shards == 1` runs
     // inline without touching the pool (and straight into `out`).
     if shards <= 1 {
-        project_range(&ctx, model, camera, options, 0..n, admit, out);
+        project_range(&ctx, model, camera, options, base, 0..n, admit, out);
         return;
     }
     let parts = crate::par::shard_map(n, shards, |range| {
         let mut part = Vec::with_capacity(range.len() / 2);
-        project_range(&ctx, model, camera, options, range, admit, &mut part);
+        project_range(&ctx, model, camera, options, base, range, admit, &mut part);
         part
     });
     out.reserve(parts.iter().map(Vec::len).sum());

@@ -72,7 +72,7 @@ use crate::projection::ProjectedSplat;
 use crate::stats::{RasterWork, RenderStats, TileGridDims};
 use ms_math::simd::{F32x4, Mask4, U32x4};
 use ms_math::Vec2;
-use ms_scene::{Camera, GaussianModel};
+use ms_scene::{Camera, GaussianModel, SceneSource};
 
 /// Result of a render pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -190,12 +190,75 @@ impl Renderer {
         camera: &Camera,
         arena: crate::FrameArena,
     ) -> crate::FrameInFlight {
+        self.begin_frame_source(crate::SceneRef::InCore(model), camera, arena)
+    }
+
+    /// [`Renderer::begin_frame`] over a [`SceneRef`](crate::SceneRef):
+    /// in-core scenes start at the Project stage exactly as `begin_frame`
+    /// does; chunked sources start at the streaming chunk-count pass, and
+    /// each [`run_stage`](crate::FrameInFlight::run_stage) call advances
+    /// one *chunk* until the stream joins the common pipeline at Merge —
+    /// so a frame server interleaves chunked frames exactly like in-core
+    /// ones, at chunk granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing.
+    pub fn begin_frame_source(
+        &self,
+        scene: crate::SceneRef<'_>,
+        camera: &Camera,
+        arena: crate::FrameArena,
+    ) -> crate::FrameInFlight {
         check_camera(camera);
         debug_assert!(
             self.options.validate().is_ok(),
             "Renderer options invalidated after construction"
         );
-        crate::FrameInFlight::new(*camera, model.len(), arena)
+        crate::FrameInFlight::new(*camera, scene, &self.options, arena)
+    }
+
+    /// Render a chunked [`SceneSource`](ms_scene::SceneSource) without ever
+    /// materializing the whole model: Project and the CSR count pass stream
+    /// chunk by chunk, then a second streamed pass re-projects and scatters
+    /// — peak chunk and projected-splat scratch residency are bounded by
+    /// the chunk size (and recorded in the frame profile's
+    /// `chunk_bytes_peak` / `projected_bytes_peak`). With LOD off the
+    /// output is bit-identical — pixels, winners, work counters — to
+    /// [`Renderer::render`] on the concatenated model, for every chunk
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing, or when the source fails to deliver a chunk.
+    pub fn render_source(
+        &self,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+    ) -> RenderOutput {
+        self.render_source_with_arena(source, camera, crate::FrameArena::default())
+            .0
+    }
+
+    /// [`Renderer::render_source`] reusing `arena`'s scratch buffers, the
+    /// chunked analogue of [`Renderer::render_with_arena`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing, or when the source fails to deliver a chunk.
+    pub fn render_source_with_arena(
+        &self,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+        arena: crate::FrameArena,
+    ) -> (RenderOutput, crate::FrameArena) {
+        let scene = crate::SceneRef::Chunked(source);
+        let mut frame = self.begin_frame_source(scene, camera, arena);
+        while !frame.run_stage(self, scene) {}
+        frame.finish(self)
     }
 
     /// Render with a per-point admission predicate (the foveation Filtering
@@ -370,6 +433,10 @@ pub(crate) fn assemble_output(
     } = composited;
     let mut profile = profiler.finish();
     profile.raster = raster;
+    // In-core residency peaks: no chunk buffer, and the projection scratch
+    // *is* the whole visible-splat vector. The chunked frame path overrides
+    // both with the per-chunk peaks it measured while streaming.
+    profile.projected_bytes_peak = std::mem::size_of_val(splats) as u64;
     let tile_intersections = bins.intersection_counts();
     let total_intersections = bins.total_intersections();
     // The per-tile → work-unit map is recorded only when occupancy

@@ -191,6 +191,50 @@ impl GaussianModel {
         kept
     }
 
+    /// Copy the points in `range` into `into`, replacing its contents.
+    ///
+    /// `into` is reinitialized to this model's SH degree but keeps its
+    /// allocations, so a caller looping over ranges (the chunked
+    /// [`crate::SceneSource`] path) reuses one buffer instead of allocating
+    /// per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    pub fn clone_range_into(&self, range: std::ops::Range<usize>, into: &mut GaussianModel) {
+        assert!(range.end <= self.len(), "range out of bounds");
+        let stride = self.sh_stride();
+        into.sh_degree = self.sh_degree;
+        into.positions.clear();
+        into.scales.clear();
+        into.rotations.clear();
+        into.opacities.clear();
+        into.sh_coeffs.clear();
+        into.positions
+            .extend_from_slice(&self.positions[range.clone()]);
+        into.scales.extend_from_slice(&self.scales[range.clone()]);
+        into.rotations
+            .extend_from_slice(&self.rotations[range.clone()]);
+        into.opacities
+            .extend_from_slice(&self.opacities[range.clone()]);
+        into.sh_coeffs
+            .extend_from_slice(&self.sh_coeffs[range.start * stride..range.end * stride]);
+    }
+
+    /// Append every point of `other` to this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the SH degrees differ.
+    pub fn extend_from(&mut self, other: &GaussianModel) {
+        assert_eq!(self.sh_degree, other.sh_degree, "SH degree mismatch");
+        self.positions.extend_from_slice(&other.positions);
+        self.scales.extend_from_slice(&other.scales);
+        self.rotations.extend_from_slice(&other.rotations);
+        self.opacities.extend_from_slice(&other.opacities);
+        self.sh_coeffs.extend_from_slice(&other.sh_coeffs);
+    }
+
     /// Serialized size in bytes (what a stored checkpoint of this model
     /// occupies); see [`BYTES_PER_POINT_FULL`].
     pub fn storage_bytes(&self) -> usize {
@@ -352,5 +396,32 @@ mod tests {
     fn point_extent_uses_max_axis() {
         let m = sample_model();
         assert!((m.point_extent(1) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clone_range_into_reuses_buffer() {
+        let m = sample_model();
+        let mut buf = GaussianModel::new(3);
+        m.clone_range_into(1..2, &mut buf);
+        assert_eq!(buf.sh_degree, m.sh_degree);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.point(0).position, m.point(1).position);
+        assert_eq!(buf.point(0).sh, m.point(1).sh);
+        buf.validate().unwrap();
+        // Second fill with a different range reuses the same buffer.
+        m.clone_range_into(0..2, &mut buf);
+        assert_eq!(buf, m);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let m = sample_model();
+        let mut a = GaussianModel::new(m.sh_degree);
+        let mut chunk = GaussianModel::new(m.sh_degree);
+        m.clone_range_into(0..1, &mut chunk);
+        a.extend_from(&chunk);
+        m.clone_range_into(1..2, &mut chunk);
+        a.extend_from(&chunk);
+        assert_eq!(a, m);
     }
 }

@@ -33,10 +33,14 @@
 mod camera;
 pub mod dataset;
 mod gaussian;
-mod io;
+pub mod io;
 pub mod synth;
 pub mod trajectory;
 
 pub use camera::Camera;
 pub use gaussian::{GaussianModel, GaussianPoint, BYTES_PER_POINT_FULL};
-pub use io::{decode_model, encode_model, DecodeError};
+pub use io::{
+    coarse_subset, decode_model, decode_model_into, encode_model, encode_model_chunked,
+    resolved_chunk_splats, ChunkedFileSource, DecodeError, InCoreSource, SceneSource, SourceError,
+    SynthChunkedSource, DEFAULT_CHUNK_SPLATS,
+};

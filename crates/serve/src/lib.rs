@@ -6,8 +6,11 @@
 //! while every session shares the same immutable Gaussian model. This crate
 //! provides that serving layer on top of the staged renderer:
 //!
-//! * **One shared scene.** [`FrameServer`] owns an `Arc<GaussianModel>`;
-//!   sessions never copy the model.
+//! * **One shared scene.** [`FrameServer`] owns a [`SceneHandle`] — an
+//!   `Arc<GaussianModel>` or an `Arc<dyn SceneSource>` streamed chunk by
+//!   chunk; sessions never copy scene data. Chunked sessions advance one
+//!   chunk of Project/Bin per step (one chunk buffer resident per
+//!   session), and their frames are bit-identical to in-core ones.
 //! * **Per-session streams.** [`SessionConfig`] pairs a
 //!   [`Trajectory`] + prototype [`Camera`] (the pose source) with
 //!   [`RenderOptions`] (quality knobs) — options are validated **once at
@@ -36,12 +39,46 @@
 
 #![deny(missing_docs)]
 
-use ms_render::{FrameArena, FrameInFlight, RenderOptions, RenderOutput, Renderer};
+use ms_render::{FrameArena, FrameInFlight, RenderOptions, RenderOutput, Renderer, SceneRef};
 use ms_scene::trajectory::Trajectory;
-use ms_scene::{Camera, GaussianModel};
+use ms_scene::{Camera, GaussianModel, SceneSource};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The scene a server shares across its sessions: either a fully resident
+/// model or a chunked out-of-core [`SceneSource`], both behind an `Arc` so
+/// sessions never copy scene data. Chunked sessions stream Project/Bin one
+/// chunk per scheduling step and are bit-identical to in-core ones over
+/// the concatenated chunks (`tests/server_determinism.rs` pins this).
+#[derive(Clone)]
+pub enum SceneHandle {
+    /// The whole model resident in memory.
+    InCore(Arc<GaussianModel>),
+    /// A chunked source with a bounded per-session resident budget.
+    Chunked(Arc<dyn SceneSource + Send + Sync>),
+}
+
+impl SceneHandle {
+    /// Borrow the scene for a frame step.
+    pub fn as_scene_ref(&self) -> SceneRef<'_> {
+        match self {
+            SceneHandle::InCore(model) => SceneRef::InCore(model),
+            SceneHandle::Chunked(source) => SceneRef::Chunked(&**source),
+        }
+    }
+
+    /// Total points in the scene.
+    pub fn total_points(&self) -> usize {
+        self.as_scene_ref().total_points()
+    }
+}
+
+impl std::fmt::Debug for SceneHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_scene_ref().fmt(f)
+    }
+}
 
 /// Stable handle for one serving session. Ids are never reused within a
 /// server, so a stale handle cannot alias a newer session.
@@ -129,7 +166,7 @@ impl Session {
     }
 
     /// Admit frames up to the window and backpressure limits.
-    fn admit(&mut self, model: &GaussianModel) {
+    fn admit(&mut self, scene: SceneRef<'_>) {
         while self.next_frame < self.frame_count
             && self.in_flight.len() < self.window
             && self.in_flight.len() + self.ring.len() < self.ring_capacity
@@ -142,7 +179,7 @@ impl Session {
             let arena = self.arenas.pop().unwrap_or_default();
             let started = Instant::now();
             self.first_started.get_or_insert(started);
-            let frame = self.renderer.begin_frame(model, &camera, arena);
+            let frame = self.renderer.begin_frame_source(scene, &camera, arena);
             self.in_flight.push_back(InFlightFrame {
                 index,
                 started,
@@ -247,24 +284,46 @@ pub struct ServerReport {
 /// per call) and drain with [`take_frames`](Self::take_frames), or use
 /// [`run_to_completion`](Self::run_to_completion) for batch workloads.
 pub struct FrameServer {
-    model: Arc<GaussianModel>,
+    scene: SceneHandle,
     sessions: Vec<Session>,
     next_id: u64,
 }
 
 impl FrameServer {
-    /// Create a server for one shared scene.
+    /// Create a server for one shared in-core scene.
     pub fn new(model: Arc<GaussianModel>) -> Self {
+        Self::new_scene(SceneHandle::InCore(model))
+    }
+
+    /// Create a server streaming a shared chunked source: sessions run the
+    /// chunked Project/Bin passes (one chunk per scheduling step, one
+    /// chunk buffer resident per session) and interleave exactly like
+    /// in-core ones.
+    pub fn new_chunked(source: Arc<dyn SceneSource + Send + Sync>) -> Self {
+        Self::new_scene(SceneHandle::Chunked(source))
+    }
+
+    /// Create a server for any [`SceneHandle`].
+    pub fn new_scene(scene: SceneHandle) -> Self {
         Self {
-            model,
+            scene,
             sessions: Vec::new(),
             next_id: 0,
         }
     }
 
     /// The shared scene.
-    pub fn model(&self) -> &Arc<GaussianModel> {
-        &self.model
+    pub fn scene(&self) -> &SceneHandle {
+        &self.scene
+    }
+
+    /// The shared in-core model, `None` when the server streams a chunked
+    /// source.
+    pub fn model(&self) -> Option<&Arc<GaussianModel>> {
+        match &self.scene {
+            SceneHandle::InCore(model) => Some(model),
+            SceneHandle::Chunked(_) => None,
+        }
     }
 
     /// Admit a session. Validates `config.options` (and the session
@@ -331,9 +390,9 @@ impl FrameServer {
     /// internally parallel (Project/Bin/Raster) spawn their own sub-tasks
     /// from within.
     pub fn step(&mut self) -> usize {
-        let model = &*self.model;
+        let scene = self.scene.as_scene_ref();
         for session in &mut self.sessions {
-            session.admit(model);
+            session.admit(scene);
         }
         let sessions = &mut self.sessions;
         rayon::scope(|sc| {
@@ -347,7 +406,7 @@ impl FrameServer {
                 for inf in in_flight.iter_mut() {
                     let frame = &mut inf.frame;
                     sc.spawn(move |_| {
-                        frame.run_stage(renderer, model);
+                        frame.run_stage(renderer, scene);
                     });
                 }
             }
@@ -535,6 +594,34 @@ mod tests {
         let report = server.report();
         assert_eq!(report.sessions.len(), 1);
         assert_eq!(report.total_frames, 4);
+    }
+
+    #[test]
+    fn chunked_server_matches_in_core_server() {
+        let model = test_model();
+        let mut in_core = FrameServer::new(model.clone());
+        in_core.add_session(config(4.0)).unwrap();
+        let reference = in_core.run_to_completion();
+
+        // A chunk size of 7 splits the 30-point model mid-stream (5 chunks,
+        // last one ragged).
+        let source: Arc<dyn SceneSource + Send + Sync> =
+            Arc::new(ms_scene::InCoreSource::new((*model).clone(), 7));
+        let mut chunked = FrameServer::new_chunked(source);
+        assert!(chunked.model().is_none());
+        assert_eq!(chunked.scene().total_points(), model.len());
+        chunked.add_session(config(4.0)).unwrap();
+        let streamed = chunked.run_to_completion();
+
+        assert_eq!(reference.len(), 1);
+        assert_eq!(streamed.len(), 1);
+        let (_, ref_frames) = &reference[0];
+        let (_, chk_frames) = &streamed[0];
+        assert_eq!(ref_frames.len(), chk_frames.len());
+        for (r, c) in ref_frames.iter().zip(chk_frames) {
+            assert_eq!(r.frame_index, c.frame_index);
+            assert_eq!(r.output, c.output, "frame {}", r.frame_index);
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use metasapiens::render::{
     RasterKernel, RasterStaging, RenderOptions, RenderOutput, Renderer, StageKind,
 };
 use metasapiens::scene::dataset::TraceId;
-use metasapiens::scene::Camera;
+use metasapiens::scene::{Camera, SceneSource};
 
 /// Worker counts the suite compares against the serial reference.
 const THREAD_COUNTS: [usize; 4] = [2, 3, 8, 0];
@@ -468,6 +468,128 @@ fn raster_work_counters_are_deterministic_and_meaningful() {
         scalar.stats.profile.raster,
         metasapiens::render::RasterWork::default()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core chunking: the fifth determinism axis
+// ---------------------------------------------------------------------------
+//
+// With LOD off, a chunked render must be bit-identical — pixels, winners,
+// work counters — to the in-core render of the concatenated chunks, for
+// every chunk size, across the other four axes. Chunk sizes here are
+// deliberately ragged (odd primes, not tile-aligned), so chunk boundaries
+// split tile lists mid-stream.
+
+/// Chunk sizes to sweep: a small odd prime (many ragged chunks, every tile
+/// list split mid-stream) and roughly half the model (one mid-model split).
+fn chunk_sizes(model_len: usize) -> [usize; 2] {
+    assert!(model_len > 347, "scene too small for the chunk sweep");
+    [347, model_len / 2 + 1]
+}
+
+#[test]
+fn chunked_render_is_bit_identical_to_in_core_across_threads() {
+    let s = scene();
+    let cam = camera(&s);
+    let serial = Renderer::new(opts(1)).render(&s.model, &cam);
+    for chunk_splats in chunk_sizes(s.model.len()) {
+        let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+        assert!(source.chunk_count() >= 2, "chunk sweep must actually chunk");
+        for threads in [1, 2, 3, 8, 0] {
+            let chunked = Renderer::new(opts(threads)).render_source(&source, &cam);
+            assert_bit_identical(&chunked, &serial, threads);
+            assert_eq!(
+                chunked.stats.profile, serial.stats.profile,
+                "chunked profile (kind, items) differs at chunk_splats={chunk_splats}, \
+                 threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_render_matches_in_core_across_merging_kernels_and_staging() {
+    // The chunk axis crossed with the other three: merged/unmerged ×
+    // scalar/simd4 × perrow/pertile, chunked vs in-core per configuration.
+    let s = scene();
+    let cam = foveal_camera();
+    let chunk_splats = chunk_sizes(s.model.len())[0];
+    let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+    for merge in [false, true] {
+        for kernel in [RasterKernel::Scalar, RasterKernel::Simd4] {
+            for staging in [RasterStaging::PerRow, RasterStaging::PerTile] {
+                let o = RenderOptions {
+                    raster_kernel: kernel,
+                    raster_staging: staging,
+                    ..if merge { merge_opts(3) } else { opts(3) }
+                };
+                let renderer = Renderer::new(o);
+                let in_core = renderer.render(&s.model, &cam);
+                let chunked = renderer.render_source(&source, &cam);
+                assert_bit_identical(&chunked, &in_core, 3);
+                assert_eq!(
+                    chunked.stats.profile, in_core.stats.profile,
+                    "profile differs (merge={merge}, {kernel:?}, {staging:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_file_source_round_trips_bit_identically() {
+    // The real out-of-core impl: encode the model into the multi-chunk
+    // container, reopen it from bytes, and render from it — still the
+    // in-core frame, bit for bit.
+    let s = scene();
+    let cam = camera(&s);
+    let serial = Renderer::new(opts(1)).render(&s.model, &cam);
+    let chunk_splats = chunk_sizes(s.model.len())[0];
+    let encoded = metasapiens::scene::encode_model_chunked(&s.model, chunk_splats);
+    let source = metasapiens::scene::ChunkedFileSource::from_bytes(encoded.to_vec())
+        .expect("container decodes");
+    assert!(source.chunk_count() >= 2);
+    for threads in [1, 3] {
+        let chunked = Renderer::new(opts(threads)).render_source(&source, &cam);
+        assert_bit_identical(&chunked, &serial, threads);
+    }
+}
+
+#[test]
+fn chunked_scratch_peak_is_bounded_by_chunk_not_model() {
+    // The memory claim the chunked pipeline exists for, asserted via the
+    // new FrameProfile counters: projected-splat scratch residency scales
+    // with the chunk size, not the model size.
+    use metasapiens::render::ProjectedSplat;
+    let s = scene();
+    let cam = camera(&s);
+    let in_core = Renderer::new(opts(1)).render(&s.model, &cam);
+    let splat_bytes = std::mem::size_of::<ProjectedSplat>() as u64;
+    assert_eq!(
+        in_core.stats.profile.projected_bytes_peak,
+        in_core.stats.points_projected as u64 * splat_bytes
+    );
+    assert_eq!(in_core.stats.profile.chunk_bytes_peak, 0);
+    let mut last_peak = u64::MAX;
+    for chunk_splats in [s.model.len() / 2 + 1, 347] {
+        let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+        let chunked = Renderer::new(opts(3)).render_source(&source, &cam);
+        let p = &chunked.stats.profile;
+        assert!(p.projected_bytes_peak <= chunk_splats as u64 * splat_bytes);
+        assert!(p.projected_bytes_peak < in_core.stats.profile.projected_bytes_peak);
+        assert!(p.chunk_bytes_peak > 0);
+        // Halving the chunk size must shrink the peak monotonically.
+        assert!(p.projected_bytes_peak < last_peak);
+        last_peak = p.projected_bytes_peak;
+        // Deterministic per configuration: an identical run reproduces the
+        // exact peaks.
+        let again = Renderer::new(opts(3)).render_source(&source, &cam);
+        assert_eq!(
+            again.stats.profile.projected_bytes_peak,
+            p.projected_bytes_peak
+        );
+        assert_eq!(again.stats.profile.chunk_bytes_peak, p.chunk_bytes_peak);
+    }
 }
 
 #[test]

@@ -299,6 +299,112 @@ fn backpressure_bounds_undrained_frames() {
 }
 
 // ---------------------------------------------------------------------------
+// Out-of-core chunking crossed with the served axis
+// ---------------------------------------------------------------------------
+
+/// The chunk axis crossed with the served axis: 16 sessions served from a
+/// chunked [`SceneSource`] must be bit-identical to solo in-core renders of
+/// the same trajectories — for a ragged chunk size that splits tile lists
+/// mid-stream and for a half-scene size, under different worker counts.
+#[test]
+fn chunked_server_sessions_match_in_core_solo() {
+    use metasapiens::scene::{InCoreSource, SceneSource};
+
+    let model = model();
+    let proto = prototype();
+    let refs: Vec<Vec<RenderOutput>> = (0..DISTINCT_TRAJS)
+        .map(|slot| solo_frames(slot, true, RasterKernel::Simd4))
+        .collect();
+
+    for chunk_splats in [347, model.len() / 2 + 1] {
+        let source: Arc<dyn SceneSource + Send + Sync> =
+            Arc::new(InCoreSource::new((*model).clone(), chunk_splats));
+        assert!(
+            source.chunk_count() >= 2,
+            "chunk size {chunk_splats} must actually chunk the scene"
+        );
+        for threads in [2, 8] {
+            let mut server = FrameServer::new_chunked(source.clone());
+            let sessions = 16;
+            let ids: Vec<_> = (0..sessions)
+                .map(|i| {
+                    server
+                        .add_session(SessionConfig {
+                            trajectory: trajectory(i),
+                            prototype: proto,
+                            frame_count: FRAMES,
+                            options: options(threads, true, RasterKernel::Simd4),
+                            in_flight: 1 + i % 3,
+                            ring_capacity: FRAMES,
+                        })
+                        .expect("valid session config")
+                })
+                .collect();
+            let results = server.run_to_completion();
+            assert_eq!(results.len(), sessions);
+            for (i, (id, frames)) in results.iter().enumerate() {
+                assert_eq!(*id, ids[i]);
+                assert_eq!(frames.len(), FRAMES, "session {i} frame count");
+                let expect = &refs[i % DISTINCT_TRAJS];
+                for (k, frame) in frames.iter().enumerate() {
+                    // Pixels, winners and work counters must agree; the
+                    // resident-peak fields are excluded from profile
+                    // equality, so chunked-vs-in-core compares clean.
+                    assert_eq!(
+                        frame.output, expect[k],
+                        "chunked session {i} frame {k} differs from in-core solo \
+                         (chunk_splats={chunk_splats} threads={threads})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Serving straight from an encoded multi-chunk container reproduces the
+/// in-core stream too: encode → [`ChunkedFileSource::from_bytes`] → serve.
+#[test]
+fn chunked_file_source_served_matches_in_core_solo() {
+    use metasapiens::scene::{encode_model_chunked, ChunkedFileSource, SceneSource};
+
+    let model = model();
+    let proto = prototype();
+    let refs: Vec<Vec<RenderOutput>> = (0..4)
+        .map(|slot| solo_frames(slot, false, RasterKernel::Scalar))
+        .collect();
+
+    let encoded = encode_model_chunked(&model, 347);
+    let source = ChunkedFileSource::from_bytes(encoded.to_vec()).expect("valid container");
+    assert!(source.chunk_count() >= 2);
+    let mut server = FrameServer::new_chunked(Arc::new(source));
+    let ids: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .add_session(SessionConfig {
+                    trajectory: trajectory(i),
+                    prototype: proto,
+                    frame_count: FRAMES,
+                    options: options(3, false, RasterKernel::Scalar),
+                    in_flight: 1 + i % 3,
+                    ring_capacity: FRAMES,
+                })
+                .expect("valid session config")
+        })
+        .collect();
+    let results = server.run_to_completion();
+    assert_eq!(results.len(), ids.len());
+    for (i, (id, frames)) in results.iter().enumerate() {
+        assert_eq!(*id, ids[i]);
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                frame.output, refs[i][k],
+                "file-served session {i} frame {k} differs from in-core solo"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trajectory sampler properties (the server's frame-admission source)
 // ---------------------------------------------------------------------------
 
