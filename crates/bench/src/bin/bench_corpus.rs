@@ -1,10 +1,10 @@
 //! Corpus bench record: one binary sweeping **named scenarios** (scene
 //! family × trajectory) × kernel configuration (scalar, simd4 staged per
 //! row, simd4 staged per tile) × thread counts, plus the multi-session
-//! frame-server sweep and the chunked-streaming sweep (in-core vs
-//! `InCoreSource` at two chunk sizes) — the single perf record of the
-//! repo, written to `BENCH_pr9.json` at the repo root (override with
-//! `MS_BENCH_OUT`).
+//! frame-server sweep and the chunked-streaming sweep (in-core vs the
+//! encoded container at two chunk sizes, with the chunk cache disabled
+//! and at the default budget) — the single perf record of the repo, written to
+//! `BENCH_pr10.json` at the repo root (override with `MS_BENCH_OUT`).
 //!
 //! This replaces the PR 6 `bench_raster` and PR 7 `bench_server`
 //! binaries: both sweeps are cells of the same corpus now, so one run
@@ -44,7 +44,9 @@ use metasapiens::render::{
 use metasapiens::scene::dataset::TraceId;
 use metasapiens::scene::synth::{self, Scene};
 use metasapiens::scene::trajectory::{orbit, Trajectory};
-use metasapiens::scene::{Camera, GaussianModel, InCoreSource, SceneSource};
+use metasapiens::scene::{
+    encode_model_chunked, Camera, ChunkedFileSource, GaussianModel, SceneSource,
+};
 use ms_bench::print_table;
 use ms_serve::{FrameServer, SessionConfig};
 use std::sync::Arc;
@@ -523,19 +525,36 @@ fn main() {
     print_table(&server_headers, &server_table);
 
     // Chunked streaming sweep: the dense head-on frame rendered in core vs
-    // streamed through `InCoreSource` at two chunk sizes, per thread count.
-    // Same sampling discipline as the raster sweep (round-robin, best
-    // total wall). The resident-peak counters ride along from the best
-    // profile — they are deterministic per configuration, so they show
-    // what the bounded budget buys while total_us shows what the double
-    // projection costs.
+    // streamed from the *encoded* multi-chunk container
+    // (`ChunkedFileSource::from_bytes`) at two chunk sizes, per thread
+    // count — and per cache budget: `nocache` (budget 0, every chunk
+    // re-decodes twice per frame) vs `cache` (the default budget, the
+    // scatter pass and every later frame hit the renderer's chunk cache).
+    // The encoded container is the honest streaming scenario: each load
+    // parses and validates chunk bytes — the cost the cache eliminates —
+    // where an `InCoreSource` load is a memcpy the cache could only match.
+    // Each cell keeps one `Renderer` across repetitions, so `cache` cells
+    // measure the steady state a long-lived renderer reaches. Same
+    // sampling discipline as the raster sweep (round-robin, best total
+    // wall). The resident-peak counters ride along from the best profile —
+    // they are deterministic per configuration, so they show what the
+    // bounded budget buys while total_us shows what the streaming passes
+    // cost.
     let chunk_sizes = get_list("MS_CHUNK_SIZES", &[4096, 33_333]);
-    let chunk_sources: Vec<(usize, Arc<InCoreSource>)> = chunk_sizes
+    let chunk_sources: Vec<(usize, Arc<ChunkedFileSource>)> = chunk_sizes
         .iter()
-        .map(|&cs| (cs, Arc::new(InCoreSource::new((*model_arc).clone(), cs))))
+        .map(|&cs| {
+            let bytes = encode_model_chunked(&model_arc, cs).to_vec();
+            let source = ChunkedFileSource::from_bytes(bytes).expect("container round-trips");
+            (cs, Arc::new(source))
+        })
         .collect();
+    // Budget `Some(0)` disables the cache outright; `None` resolves to the
+    // default budget (32 MiB unless `MS_CHUNK_CACHE` overrides it).
+    let cache_budgets: [(&str, Option<usize>); 2] = [("nocache", Some(0)), ("cache", None)];
     struct ChunkedCell {
         mode: String,
+        cache_mode: &'static str,
         chunk_splats: usize,
         threads: usize,
         render: Box<dyn Fn() -> FrameProfile>,
@@ -554,21 +573,30 @@ fn main() {
         );
         chunked_cells.push(ChunkedCell {
             mode: "incore".to_string(),
+            cache_mode: "n/a",
             chunk_splats: 0,
             threads,
             render: Box::new(move || r.render(&m, &c).stats.profile),
             best: None,
         });
         for (cs, source) in &chunk_sources {
-            let (s, c, r) = (Arc::clone(source), headon, Renderer::new(options.clone()));
-            assert!(s.chunk_count() >= 1);
-            chunked_cells.push(ChunkedCell {
-                mode: format!("chunk{cs}"),
-                chunk_splats: *cs,
-                threads,
-                render: Box::new(move || r.render_source(&*s, &c).stats.profile),
-                best: None,
-            });
+            for &(cache_mode, budget) in &cache_budgets {
+                let options = RenderOptions {
+                    threads,
+                    cache_budget_bytes: budget,
+                    ..RenderOptions::default()
+                };
+                let (s, c, r) = (Arc::clone(source), headon, Renderer::new(options));
+                assert!(s.chunk_count() >= 1);
+                chunked_cells.push(ChunkedCell {
+                    mode: format!("chunk{cs}/{cache_mode}"),
+                    cache_mode,
+                    chunk_splats: *cs,
+                    threads,
+                    render: Box::new(move || r.render_source(&*s, &c).stats.profile),
+                    best: None,
+                });
+            }
         }
     }
     for _ in 0..frames {
@@ -596,6 +624,7 @@ fn main() {
         "total us",
         "fps",
         "vs incore",
+        "hit rate",
         "chunk peak B",
         "projected peak B",
     ];
@@ -610,6 +639,7 @@ fn main() {
                 format!("{total_us:.1}"),
                 format!("{:.2}", 1e6 / total_us),
                 format!("{:.2}x", incore_us(c.threads) / total_us),
+                format!("{:.2}", best.cache.hit_rate()),
                 best.chunk_bytes_peak.to_string(),
                 best.projected_bytes_peak.to_string(),
             ]
@@ -618,7 +648,7 @@ fn main() {
     println!();
     print_table(&chunked_headers, &chunked_table);
 
-    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
+    let out_path = std::env::var("MS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
     let raster_json: Vec<String> = rows.iter().map(json_raster_row).collect();
     let server_json: Vec<String> = server_rows.iter().map(json_server_row).collect();
     let chunked_json: Vec<String> = chunked_cells
@@ -627,20 +657,22 @@ fn main() {
             let best = c.best.as_ref().expect("at least one sample");
             let total_us = best.total_wall().as_secs_f64() * 1e6;
             format!(
-                "    {{\"scenario\": \"dense/headon\", \"mode\": \"{}\", \"chunk_splats\": {}, \"threads\": {}, \"total_us\": {:.1}, \"fps\": {:.2}, \"incore_over_chunked\": {:.3}, \"chunk_bytes_peak\": {}, \"projected_bytes_peak\": {}}}",
+                "    {{\"scenario\": \"dense/headon\", \"mode\": \"{}\", \"cache\": \"{}\", \"chunk_splats\": {}, \"threads\": {}, \"total_us\": {:.1}, \"fps\": {:.2}, \"incore_over_chunked\": {:.3}, \"cache_hit_rate\": {:.3}, \"chunk_bytes_peak\": {}, \"projected_bytes_peak\": {}}}",
                 c.mode,
+                c.cache_mode,
                 c.chunk_splats,
                 c.threads,
                 total_us,
                 1e6 / total_us,
                 incore_us(c.threads) / total_us,
+                best.cache.hit_rate(),
                 best.chunk_bytes_peak,
                 best.projected_bytes_peak,
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"corpus\",\n  \"pr\": 9,\n  \"host_cores\": {host_cores},\n  \"config\": {{\"trace\": \"room\", \"dense_points\": {points}, \"dense_log_scale\": {log_scale}, \"foveated_scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames\": {frames}, \"frames_per_session\": {server_frames}, \"in_flight\": 2}},\n  \"raster\": [\n{}\n  ],\n  \"acceptance_1t\": {{\"dense_orbit_perrow_over_pertile\": {staging_speedup:.3}, \"dense_orbit_row_iteration_saving\": {work_saving:.3}, \"foveated_headon_scalar_over_pertile\": {simd_speedup:.3}}},\n  \"server\": [\n{}\n  ],\n  \"chunked\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"corpus\",\n  \"pr\": 10,\n  \"host_cores\": {host_cores},\n  \"config\": {{\"trace\": \"room\", \"dense_points\": {points}, \"dense_log_scale\": {log_scale}, \"foveated_scene_scale\": {scale}, \"width\": {width}, \"height\": {height}, \"frames\": {frames}, \"frames_per_session\": {server_frames}, \"in_flight\": 2}},\n  \"raster\": [\n{}\n  ],\n  \"acceptance_1t\": {{\"dense_orbit_perrow_over_pertile\": {staging_speedup:.3}, \"dense_orbit_row_iteration_saving\": {work_saving:.3}, \"foveated_headon_scalar_over_pertile\": {simd_speedup:.3}}},\n  \"server\": [\n{}\n  ],\n  \"chunked\": [\n{}\n  ]\n}}\n",
         raster_json.join(",\n"),
         server_json.join(",\n"),
         chunked_json.join(",\n")

@@ -208,6 +208,7 @@ impl FoveatedRenderer {
                     raster: s.profile.raster,
                     chunk_bytes_peak: s.profile.chunk_bytes_peak,
                     projected_bytes_peak: s.profile.projected_bytes_peak,
+                    cache: s.profile.cache,
                 };
                 profile.absorb(&adjusted);
             } else {

@@ -473,6 +473,11 @@ impl TileBins {
 /// fill — and the pre-sort index array is bit-identical to
 /// [`TileBins::build_with_threads`] over the concatenated splats for every
 /// chunk size, shard count and thread count.
+///
+/// The streamed frame machine (`crate::frame`) overlaps the *decode* of
+/// chunk `k + 1` with the projection of chunk `k` (double-buffering), but
+/// the builder itself still consumes chunks strictly in order — prefetch
+/// moves wall time only and cannot reorder a CSR write.
 #[derive(Debug)]
 pub(crate) struct ChunkedBinBuilder {
     grid: TileGridDims,
@@ -643,6 +648,18 @@ impl ChunkedBinBuilder {
             offsets: self.offsets,
             indices: self.indices,
         }
+    }
+
+    /// Abandon the build and recover the recycled CSR buffers (cleared).
+    /// The streamed frame machine calls this when a chunk load fails
+    /// mid-stream, so a failed frame still hands a clean arena back instead
+    /// of dropping its capacity.
+    pub(crate) fn into_recycle(self) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = self.offsets;
+        let mut indices = self.indices;
+        offsets.clear();
+        indices.clear();
+        (offsets, indices)
     }
 }
 

@@ -33,7 +33,7 @@ use crate::pipeline::{
 use crate::projection::{project_model_offset_into, ProjectedSplat};
 use crate::raster::{RasterScratch, RenderOutput, Renderer, UnitResult};
 use crate::stats::TileGridDims;
-use ms_scene::{Camera, GaussianModel, SceneSource};
+use ms_scene::{CacheStats, Camera, ChunkCache, GaussianModel, SceneSource, SourceError};
 use std::time::{Duration, Instant};
 
 /// The scene a frame reads its splats from: either a fully resident
@@ -127,28 +127,202 @@ fn expect_chunked<'a>(scene: SceneRef<'a>, model_len: usize) -> &'a (dyn SceneSo
     source
 }
 
-/// Load chunk `index` into the reused `chunk` buffer and project it into
-/// `scratch` with its global point-index base, so projected `point_index`
-/// values match the concatenated in-core model's.
+/// The streaming half of a chunked frame: the chunk-count and chunk-scatter
+/// passes share this state, which owns the bin builder, the double-buffered
+/// chunk-decode storage, and the per-frame cache/residency accounting.
 ///
-/// # Panics
+/// # Double buffering
 ///
-/// Panics when the source fails to deliver the chunk (I/O or decode
-/// error) — the frame machine has no error channel, and a frame that
-/// silently dropped a chunk would violate the bit-identity contract.
-fn load_and_project(
-    source: &(dyn SceneSource + Sync),
-    index: usize,
-    camera: &Camera,
-    options: &RenderOptions,
-    chunk: &mut GaussianModel,
-    scratch: &mut Vec<ProjectedSplat>,
-) {
-    source
-        .load_chunk_into(index, chunk)
-        .unwrap_or_else(|e| panic!("loading scene chunk {index} failed: {e}"));
-    let base = u32::try_from(source.chunk_base(index)).expect("scene exceeds u32 point indexing");
-    project_model_offset_into(chunk, camera, options, base, &admit_all, scratch);
+/// While the frame projects (and counts or scatters) chunk `k` out of
+/// `chunk`, the *next* chunk `k + 1` decodes on the worker pool into
+/// `next_chunk` — a one-deep prefetch, so at most two chunk buffers are
+/// ever resident (the `cache_budget + 2 × chunk_bytes` budget documented on
+/// [`RenderOptions::cache_budget_bytes`](crate::RenderOptions)). Chunks are
+/// still *consumed* strictly in index order — the prefetch only moves the
+/// decode earlier in time, never reorders it — and a prefetched load's
+/// error is held in `prefetched` until its chunk would have been consumed,
+/// so a failing source surfaces the same error at the same chunk index as
+/// the unprefetched path.
+struct ChunkStream {
+    builder: ChunkedBinBuilder,
+    /// Chunk buffer currently being projected (the resident-budget unit).
+    chunk: GaussianModel,
+    /// Prefetch target: chunk `next + 1` decodes into this buffer while
+    /// `chunk` is projected; the buffers swap when it is consumed.
+    next_chunk: GaussianModel,
+    /// Outcome of the in-flight prefetch, if one was issued: the cache
+    /// access for chunk `next` now sitting in `next_chunk`, or the load
+    /// error to surface when that chunk is consumed.
+    prefetched: Option<Result<ms_scene::CacheAccess, SourceError>>,
+    /// Reused per-chunk projection buffer.
+    scratch: Vec<ProjectedSplat>,
+    /// The final visible-splat vector (filled during pass 2); carried from
+    /// pass 1 so the arena's recycled capacity is not dropped.
+    splats: Vec<ProjectedSplat>,
+    /// Next chunk index of the current pass.
+    next: usize,
+    /// Accumulated wall time attributed to the Project sample.
+    project_wall: Duration,
+    /// Accumulated wall time attributed to the Bin sample.
+    bin_wall: Duration,
+    /// Running peaks for the frame-profile memory counters. The chunk peak
+    /// counts the largest *single* buffer, matching the pre-prefetch
+    /// meaning; the two-buffer residency is the documented budget, not a
+    /// measured counter.
+    chunk_bytes_peak: u64,
+    projected_bytes_peak: u64,
+    /// Cache traffic this frame generated (lands in the frame profile).
+    cache: CacheStats,
+}
+
+impl ChunkStream {
+    fn new(options: &RenderOptions, grid: TileGridDims, arena: FrameArena) -> Self {
+        let mut splats = arena.splats;
+        splats.clear();
+        ChunkStream {
+            builder: ChunkedBinBuilder::new(
+                grid,
+                options.resolved_threads(),
+                (arena.offsets, arena.indices),
+            ),
+            chunk: GaussianModel::new(0),
+            next_chunk: GaussianModel::new(0),
+            prefetched: None,
+            scratch: Vec::new(),
+            splats,
+            next: 0,
+            project_wall: Duration::ZERO,
+            bin_wall: Duration::ZERO,
+            chunk_bytes_peak: 0,
+            projected_bytes_peak: 0,
+            cache: CacheStats::default(),
+        }
+    }
+
+    /// Obtain chunk `self.next` (from the prefetch buffer or a fresh cache
+    /// load) and project it into `scratch` with its global point-index
+    /// base, so projected `point_index` values match the concatenated
+    /// in-core model's; then kick off the prefetch of the following chunk
+    /// on the worker pool, overlapping its decode with the projection.
+    fn load_and_project(
+        &mut self,
+        cache: &ChunkCache,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+        options: &RenderOptions,
+    ) -> Result<(), SourceError> {
+        let index = self.next;
+        let access = match self.prefetched.take() {
+            Some(result) => {
+                std::mem::swap(&mut self.chunk, &mut self.next_chunk);
+                result?
+            }
+            None => cache.load_into(source, index, 0, &mut self.chunk)?,
+        };
+        if access.hit {
+            self.cache.hits += 1;
+        } else {
+            self.cache.misses += 1;
+        }
+        self.cache.evictions += access.evictions;
+        self.cache.resident_bytes_peak = self.cache.resident_bytes_peak.max(cache.resident_bytes());
+        let base =
+            u32::try_from(source.chunk_base(index)).expect("scene exceeds u32 point indexing");
+        let next_index = index + 1;
+        if next_index < source.chunk_count() {
+            let chunk = &self.chunk;
+            let next_chunk = &mut self.next_chunk;
+            let prefetched = &mut self.prefetched;
+            let scratch = &mut self.scratch;
+            rayon::scope(|s| {
+                s.spawn(move |_| {
+                    *prefetched = Some(cache.load_into(source, next_index, 0, next_chunk));
+                });
+                project_model_offset_into(chunk, camera, options, base, &admit_all, scratch);
+            });
+        } else {
+            project_model_offset_into(
+                &self.chunk,
+                camera,
+                options,
+                base,
+                &admit_all,
+                &mut self.scratch,
+            );
+        }
+        Ok(())
+    }
+
+    /// Advance the chunk-count pass by one chunk.
+    fn step_count(
+        &mut self,
+        cache: &ChunkCache,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+        options: &RenderOptions,
+    ) -> Result<(), SourceError> {
+        let start = Instant::now();
+        self.load_and_project(cache, source, camera, options)?;
+        self.project_wall += start.elapsed();
+        let start = Instant::now();
+        self.builder.count_chunk(&self.scratch);
+        self.bin_wall += start.elapsed();
+        self.observe_peaks();
+        self.next += 1;
+        Ok(())
+    }
+
+    /// Advance the chunk-scatter pass by one chunk.
+    fn step_scatter(
+        &mut self,
+        cache: &ChunkCache,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+        options: &RenderOptions,
+    ) -> Result<(), SourceError> {
+        let start = Instant::now();
+        self.load_and_project(cache, source, camera, options)?;
+        self.project_wall += start.elapsed();
+        let start = Instant::now();
+        // CSR indices address the *visible-splat* vector, so the chunk's
+        // scatter base is where its projection lands in that vector —
+        // chunks append in order, making every tile segment fill in global
+        // splat order (the in-core fill) for any chunk size.
+        self.builder
+            .scatter_chunk(&self.scratch, self.splats.len() as u32);
+        self.bin_wall += start.elapsed();
+        self.splats.extend_from_slice(&self.scratch);
+        self.observe_peaks();
+        self.next += 1;
+        Ok(())
+    }
+
+    fn observe_peaks(&mut self) {
+        self.chunk_bytes_peak = self.chunk_bytes_peak.max(self.chunk.storage_bytes() as u64);
+        self.projected_bytes_peak = self
+            .projected_bytes_peak
+            .max((self.scratch.len() * std::mem::size_of::<ProjectedSplat>()) as u64);
+    }
+
+    /// Recover the arena-owned buffers from a failed frame (cleared, with
+    /// capacity retained) so the fault costs no steady-state allocations.
+    /// The raster scratch pool lives on `FrameInFlight` and rejoins in
+    /// [`FrameInFlight::into_failure`].
+    fn into_arena(self) -> FrameArena {
+        let ChunkStream {
+            builder,
+            mut splats,
+            ..
+        } = self;
+        splats.clear();
+        let (offsets, indices) = builder.into_recycle();
+        FrameArena {
+            splats,
+            offsets,
+            indices,
+            raster: Vec::new(),
+        }
+    }
 }
 
 /// Where a [`FrameInFlight`] is in the Project → Bin → Merge → Raster →
@@ -157,49 +331,32 @@ enum State {
     /// Nothing ran yet; holds the recycled arena.
     Project { arena: FrameArena },
     /// Streaming pass 1 over a chunked source (reported as the Project
-    /// stage): each [`run_stage`](FrameInFlight::run_stage) call loads one
-    /// chunk, projects it into the recycled `scratch` buffer with its
-    /// global point-index base, and accumulates per-tile intersection
-    /// counts into the builder — then drops the chunk. Only one chunk (and
-    /// one chunk's projection) is ever resident.
-    ChunkCount {
-        builder: ChunkedBinBuilder,
-        /// Reused chunk-decode buffer (the resident-budget unit).
-        chunk: GaussianModel,
-        /// Reused per-chunk projection buffer.
-        scratch: Vec<ProjectedSplat>,
-        /// The final visible-splat vector (filled during pass 2); carried
-        /// here so the arena's recycled capacity is not dropped.
-        splats: Vec<ProjectedSplat>,
-        /// Next chunk index of pass 1.
-        next: usize,
-        /// Accumulated wall time attributed to the Project sample.
-        project_wall: Duration,
-        /// Accumulated wall time attributed to the Bin sample.
-        bin_wall: Duration,
-        /// Running peaks for the frame-profile memory counters.
-        chunk_bytes_peak: u64,
-        projected_bytes_peak: u64,
-    },
+    /// stage): each [`run_stage`](FrameInFlight::run_stage) call obtains
+    /// one chunk (prefetch buffer, chunk cache, or source decode), projects
+    /// it into the recycled `scratch` buffer with its global point-index
+    /// base, and accumulates per-tile intersection counts into the builder
+    /// — then drops the chunk. At most two chunk buffers (current +
+    /// prefetch) are ever resident.
+    ChunkCount(ChunkStream),
     /// Streaming pass 2 over the same chunks in the same order (reported
-    /// as the Bin stage): re-project one chunk per call, scatter its CSR
-    /// indices with persistent per-tile cursors, and append its projection
-    /// to the visible-splat vector. After the last chunk the tile segments
-    /// are depth-sorted and the frame joins the in-core pipeline at Merge.
+    /// as the Bin stage): re-obtain one chunk per call — a cache hit when
+    /// the budget held onto pass 1's decode — scatter its CSR indices with
+    /// persistent per-tile cursors, and append its projection to the
+    /// visible-splat vector. After the last chunk the tile segments are
+    /// depth-sorted and the frame joins the in-core pipeline at Merge.
     ChunkScatter {
-        builder: ChunkedBinBuilder,
-        chunk: GaussianModel,
-        scratch: Vec<ProjectedSplat>,
-        splats: Vec<ProjectedSplat>,
-        /// Next chunk index of pass 2.
-        next: usize,
+        stream: ChunkStream,
         /// Total intersections from [`ChunkedBinBuilder::seal`] — the Bin
         /// sample's work counter.
         total_intersections: u64,
-        project_wall: Duration,
-        bin_wall: Duration,
-        chunk_bytes_peak: u64,
-        projected_bytes_peak: u64,
+    },
+    /// A chunk load failed. The frame is abandoned — no output exists —
+    /// but its recycled buffers were recovered into `arena` so the fault
+    /// does not cost the owner its allocation steady state
+    /// ([`FrameInFlight::into_failure`] hands both back).
+    Failed {
+        error: SourceError,
+        arena: FrameArena,
     },
     /// Project done.
     Bin {
@@ -261,6 +418,9 @@ pub struct FrameInFlight {
     /// streaming passes; `None` on the in-core path, whose peaks are
     /// derived from the final splat vector when the output is assembled.
     peaks: Option<(u64, u64)>,
+    /// Chunk-cache traffic measured by the streaming passes; zeros on the
+    /// in-core path, which never touches the cache.
+    cache_stats: CacheStats,
 }
 
 impl std::fmt::Debug for FrameInFlight {
@@ -292,23 +452,7 @@ impl FrameInFlight {
             SceneRef::InCore(_) => State::Project { arena },
             SceneRef::Chunked(_) => {
                 let grid = TileGridDims::for_image(camera.width, camera.height, options.tile_size);
-                let mut splats = arena.splats;
-                splats.clear();
-                State::ChunkCount {
-                    builder: ChunkedBinBuilder::new(
-                        grid,
-                        options.resolved_threads(),
-                        (arena.offsets, arena.indices),
-                    ),
-                    chunk: GaussianModel::new(0),
-                    scratch: Vec::new(),
-                    splats,
-                    next: 0,
-                    project_wall: Duration::ZERO,
-                    bin_wall: Duration::ZERO,
-                    chunk_bytes_peak: 0,
-                    projected_bytes_peak: 0,
-                }
+                State::ChunkCount(ChunkStream::new(options, grid, arena))
             }
         };
         Self {
@@ -318,6 +462,7 @@ impl FrameInFlight {
             state,
             raster_scratch,
             peaks: None,
+            cache_stats: CacheStats::default(),
         }
     }
 
@@ -331,8 +476,19 @@ impl FrameInFlight {
         matches!(self.state, State::Done { .. })
     }
 
+    /// Whether a chunk load failed and the frame was abandoned — no output
+    /// exists; consume with [`into_failure`](Self::into_failure) to recover
+    /// the error and the recycled arena. A failure is confined to this
+    /// frame: nothing shared (renderer, cache, worker pool) is poisoned,
+    /// and the next frame begun from the recovered arena renders exactly
+    /// as if this one had never run.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, State::Failed { .. })
+    }
+
     /// The stage the next [`run_stage`](Self::run_stage) call will execute,
-    /// or `None` once the frame is done.
+    /// or `None` once the frame is done — or failed, which also has no
+    /// next stage to run.
     pub fn next_stage(&self) -> Option<StageKind> {
         match self.state {
             State::Project { .. } | State::ChunkCount { .. } => Some(StageKind::Project),
@@ -340,13 +496,16 @@ impl FrameInFlight {
             State::Merge { .. } => Some(StageKind::Merge),
             State::Raster { .. } => Some(StageKind::Raster),
             State::Composite { .. } => Some(StageKind::Composite),
-            State::Done { .. } => None,
+            State::Done { .. } | State::Failed { .. } => None,
             State::Poisoned => panic!("frame poisoned by an earlier stage panic"),
         }
     }
 
-    /// Execute the next pipeline step; returns `true` once the frame is
-    /// done. `renderer` and `scene` must be the ones the frame was begun
+    /// Execute the next pipeline step; returns `true` once the frame needs
+    /// no more pumping — finished ([`is_done`](Self::is_done), collect with
+    /// [`finish`](Self::finish)) or failed ([`is_failed`](Self::is_failed),
+    /// collect with [`into_failure`](Self::into_failure)).
+    /// `renderer` and `scene` must be the ones the frame was begun
     /// with — the frame carries no back-references so it can be `Send` and
     /// self-contained, and the frame server guarantees the pairing by
     /// owning both. `scene` accepts a plain `&GaussianModel` (in-core
@@ -358,12 +517,15 @@ impl FrameInFlight {
     /// sessions at the same granularity it interleaves stages), then one
     /// stage per call from Merge on.
     ///
+    /// A chunk-load failure does **not** panic: the frame transitions to
+    /// the failed state (recovering its recycled buffers) and further
+    /// calls are no-ops returning `true`.
+    ///
     /// # Panics
     ///
     /// Panics when called on a finished or poisoned frame, when the scene
-    /// kind differs from the one the frame was begun with, when a chunk
-    /// fails to load, or (debug only) when the scene changed size since
-    /// [`Renderer::begin_frame`].
+    /// kind differs from the one the frame was begun with, or (debug only)
+    /// when the scene changed size since [`Renderer::begin_frame`].
     pub fn run_stage<'a>(&mut self, renderer: &Renderer, scene: impl Into<SceneRef<'a>>) -> bool {
         let scene = scene.into();
         let options = renderer.options();
@@ -390,106 +552,66 @@ impl FrameInFlight {
                     recycle: (arena.offsets, arena.indices),
                 }
             }
-            State::ChunkCount {
-                mut builder,
-                mut chunk,
-                mut scratch,
-                splats,
-                mut next,
-                mut project_wall,
-                mut bin_wall,
-                mut chunk_bytes_peak,
-                mut projected_bytes_peak,
-            } => {
+            State::ChunkCount(mut stream) => {
                 let source = expect_chunked(scene, self.model_len);
-                if next < source.chunk_count() {
-                    let start = Instant::now();
-                    load_and_project(
-                        source,
-                        next,
-                        &self.camera,
-                        options,
-                        &mut chunk,
-                        &mut scratch,
-                    );
-                    project_wall += start.elapsed();
-                    let start = Instant::now();
-                    builder.count_chunk(&scratch);
-                    bin_wall += start.elapsed();
-                    chunk_bytes_peak = chunk_bytes_peak.max(chunk.storage_bytes() as u64);
-                    projected_bytes_peak = projected_bytes_peak
-                        .max((scratch.len() * std::mem::size_of::<ProjectedSplat>()) as u64);
-                    next += 1;
+                let mut failed = None;
+                if stream.next < source.chunk_count() {
+                    if let Err(e) =
+                        stream.step_count(renderer.chunk_cache(), source, &self.camera, options)
+                    {
+                        failed = Some(e);
+                    }
                 }
-                if next == source.chunk_count() {
+                if let Some(error) = failed {
+                    State::Failed {
+                        error,
+                        arena: stream.into_arena(),
+                    }
+                } else if stream.next == source.chunk_count() {
                     let start = Instant::now();
-                    let total_intersections = builder.seal();
-                    bin_wall += start.elapsed();
+                    let total_intersections = stream.builder.seal();
+                    stream.bin_wall += start.elapsed();
+                    // Pass 2 restarts the chunk walk; the last counted chunk
+                    // never prefetched a successor, so the buffer is free.
+                    debug_assert!(stream.prefetched.is_none());
+                    stream.next = 0;
                     State::ChunkScatter {
-                        builder,
-                        chunk,
-                        scratch,
-                        splats,
-                        next: 0,
+                        stream,
                         total_intersections,
-                        project_wall,
-                        bin_wall,
-                        chunk_bytes_peak,
-                        projected_bytes_peak,
                     }
                 } else {
-                    State::ChunkCount {
-                        builder,
-                        chunk,
-                        scratch,
-                        splats,
-                        next,
-                        project_wall,
-                        bin_wall,
-                        chunk_bytes_peak,
-                        projected_bytes_peak,
-                    }
+                    State::ChunkCount(stream)
                 }
             }
             State::ChunkScatter {
-                mut builder,
-                mut chunk,
-                mut scratch,
-                mut splats,
-                mut next,
+                mut stream,
                 total_intersections,
-                mut project_wall,
-                mut bin_wall,
-                mut chunk_bytes_peak,
-                mut projected_bytes_peak,
             } => {
                 let source = expect_chunked(scene, self.model_len);
-                if next < source.chunk_count() {
-                    let start = Instant::now();
-                    load_and_project(
-                        source,
-                        next,
-                        &self.camera,
-                        options,
-                        &mut chunk,
-                        &mut scratch,
-                    );
-                    project_wall += start.elapsed();
-                    let start = Instant::now();
-                    // CSR indices address the *visible-splat* vector, so the
-                    // chunk's scatter base is where its projection lands in
-                    // that vector — chunks append in order, making every
-                    // tile segment fill in global splat order (the in-core
-                    // fill) for any chunk size.
-                    builder.scatter_chunk(&scratch, splats.len() as u32);
-                    bin_wall += start.elapsed();
-                    splats.extend_from_slice(&scratch);
-                    chunk_bytes_peak = chunk_bytes_peak.max(chunk.storage_bytes() as u64);
-                    projected_bytes_peak = projected_bytes_peak
-                        .max((scratch.len() * std::mem::size_of::<ProjectedSplat>()) as u64);
-                    next += 1;
+                let mut failed = None;
+                if stream.next < source.chunk_count() {
+                    if let Err(e) =
+                        stream.step_scatter(renderer.chunk_cache(), source, &self.camera, options)
+                    {
+                        failed = Some(e);
+                    }
                 }
-                if next == source.chunk_count() {
+                if let Some(error) = failed {
+                    State::Failed {
+                        error,
+                        arena: stream.into_arena(),
+                    }
+                } else if stream.next == source.chunk_count() {
+                    let ChunkStream {
+                        builder,
+                        splats,
+                        project_wall,
+                        mut bin_wall,
+                        chunk_bytes_peak,
+                        projected_bytes_peak,
+                        cache,
+                        ..
+                    } = stream;
                     let start = Instant::now();
                     let bins = builder.finish(&splats);
                     bin_wall += start.elapsed();
@@ -501,19 +623,12 @@ impl FrameInFlight {
                     self.profiler
                         .record(StageKind::Bin, bin_wall, total_intersections);
                     self.peaks = Some((chunk_bytes_peak, projected_bytes_peak));
+                    self.cache_stats = cache;
                     State::Merge { splats, bins }
                 } else {
                     State::ChunkScatter {
-                        builder,
-                        chunk,
-                        scratch,
-                        splats,
-                        next,
+                        stream,
                         total_intersections,
-                        project_wall,
-                        bin_wall,
-                        chunk_bytes_peak,
-                        projected_bytes_peak,
                     }
                 }
             }
@@ -581,10 +696,14 @@ impl FrameInFlight {
                     composited,
                 }
             }
+            // A failed frame absorbs further pumps as no-ops: a scheduler
+            // that queued stage work before observing the failure must be
+            // able to drain it harmlessly.
+            state @ State::Failed { .. } => state,
             State::Done { .. } => panic!("run_stage called on a finished frame"),
             State::Poisoned => panic!("frame poisoned by an earlier stage panic"),
         };
-        self.is_done()
+        self.is_done() || self.is_failed()
     }
 
     /// Consume the finished frame: assemble its [`RenderOutput`] (the same
@@ -621,6 +740,7 @@ impl FrameInFlight {
             output.stats.profile.chunk_bytes_peak = chunk_peak;
             output.stats.profile.projected_bytes_peak = projected_peak;
         }
+        output.stats.profile.cache = self.cache_stats;
         splats.clear();
         let (mut offsets, mut indices) = bins.into_buffers();
         offsets.clear();
@@ -638,6 +758,27 @@ impl FrameInFlight {
                 raster,
             },
         )
+    }
+
+    /// Consume a failed frame, yielding the chunk-load error and the
+    /// recovered [`FrameArena`] (cleared, capacity retained — including the
+    /// raster scratch pool). The arena is exactly as reusable as one from
+    /// [`finish`](Self::finish): the failure poisons nothing, so the next
+    /// frame begun from it renders bit-identically to a cold start.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`is_failed`](Self::is_failed).
+    pub fn into_failure(self) -> (SourceError, FrameArena) {
+        let State::Failed { error, mut arena } = self.state else {
+            panic!("into_failure called on a frame that did not fail");
+        };
+        let mut raster = self.raster_scratch;
+        for scratch in &mut raster {
+            scratch.clear();
+        }
+        arena.raster = raster;
+        (error, arena)
     }
 }
 

@@ -160,6 +160,20 @@ pub struct RenderOptions {
     /// holds with LOD off.
     #[serde(default)]
     pub lod: usize,
+    /// Byte budget for the renderer's shared decoded-chunk cache
+    /// ([`ms_scene::ChunkCache`]), which lets the streamed Bin's scatter
+    /// pass — and every later frame over the same source — reuse decodes
+    /// instead of repeating them. `None` (the default) resolves through the
+    /// `MS_CHUNK_CACHE` environment variable, falling back to
+    /// [`ms_scene::DEFAULT_CHUNK_CACHE_BYTES`]; `Some(0)` disables caching
+    /// (pass-through, the PR 9 behavior); `Some(n)` pins an explicit
+    /// budget. Caching only moves wall time: cached and uncached renders
+    /// are bit-identical for every budget (see `tests/determinism.rs`), so
+    /// this knob never changes pixels — only the streamed path's resident
+    /// footprint, which is bounded by `cache_budget + 2 × chunk_bytes`
+    /// (the cache plus the frame's current-chunk and prefetch buffers).
+    #[serde(default)]
+    pub cache_budget_bytes: Option<usize>,
 }
 
 impl Default for RenderOptions {
@@ -181,6 +195,7 @@ impl Default for RenderOptions {
             raster_kernel: RasterKernel::Auto,
             raster_staging: RasterStaging::Auto,
             lod: 0,
+            cache_budget_bytes: None,
         }
     }
 }
@@ -276,6 +291,32 @@ impl RenderOptions {
         }
     }
 
+    /// The chunk-cache byte budget the renderer will actually use:
+    /// `cache_budget_bytes` itself when pinned (`Some(0)` disables the
+    /// cache), otherwise the `MS_CHUNK_CACHE` environment variable (a byte
+    /// count; `0` disables), and [`ms_scene::DEFAULT_CHUNK_CACHE_BYTES`]
+    /// when neither pins one. Mirrors the `MS_RASTER_KERNEL` /
+    /// `MS_CHUNK_SPLATS` seams: CI pins the cache axis through the
+    /// environment without plumbing a parameter everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `MS_CHUNK_CACHE` is set but not an integer — the
+    /// variable exists so CI can pin a budget, and a typo silently falling
+    /// back to the default would unpin it.
+    pub fn resolved_cache_budget(&self) -> usize {
+        if let Some(bytes) = self.cache_budget_bytes {
+            return bytes;
+        }
+        match std::env::var("MS_CHUNK_CACHE") {
+            Err(_) => ms_scene::DEFAULT_CHUNK_CACHE_BYTES,
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => panic!("MS_CHUNK_CACHE={v:?}: expected a byte count (0 disables)"),
+            },
+        }
+    }
+
     /// The worker count the Raster stage will actually use: `threads`
     /// itself, or the number of available cores when `threads == 0`.
     pub fn resolved_threads(&self) -> usize {
@@ -327,10 +368,12 @@ impl RenderOptions {
                 .into());
         }
         // The raster scheduling knobs (`raster_kernel`, `raster_staging`)
-        // are closed enums — every value is valid and bit-identical to the
-        // reference, so there is nothing to range-check here. Their env
-        // overrides (`MS_RASTER_KERNEL`, `MS_RASTER_STAGING`) are instead
-        // checked at resolution time, which panics on a typo: the
+        // are closed enums, and `cache_budget_bytes` has a closed domain
+        // (every byte count from 0 = disabled to usize::MAX = unbounded is
+        // meaningful, and none of them changes pixels) — so there is
+        // nothing to range-check for any of them here. Their env overrides
+        // (`MS_RASTER_KERNEL`, `MS_RASTER_STAGING`, `MS_CHUNK_CACHE`) are
+        // instead checked at resolution time, which panics on a typo: the
         // environment can change between validation and the render, so a
         // check here could not keep CI's pinning honest.
         Ok(())
@@ -491,6 +534,34 @@ mod tests {
         assert_eq!(auto.resolved_staging(), RasterStaging::PerTile);
         std::env::remove_var("MS_RASTER_STAGING");
         assert_eq!(auto.resolved_staging(), RasterStaging::PerTile);
+    }
+
+    #[test]
+    fn cache_budget_resolution() {
+        // Pinned budgets resolve to themselves regardless of environment,
+        // including the explicit 0 = disabled.
+        for pinned in [0usize, 4096, usize::MAX] {
+            let o = RenderOptions {
+                cache_budget_bytes: Some(pinned),
+                ..RenderOptions::default()
+            };
+            assert_eq!(o.resolved_cache_budget(), pinned);
+            o.validate().unwrap();
+        }
+        // Auto follows MS_CHUNK_CACHE when set (every budget renders
+        // bit-identically, so a concurrent render observing the transient
+        // environment is unaffected), the crate default otherwise.
+        let auto = RenderOptions::default();
+        assert_eq!(auto.cache_budget_bytes, None);
+        std::env::set_var("MS_CHUNK_CACHE", "1048576");
+        assert_eq!(auto.resolved_cache_budget(), 1 << 20);
+        std::env::set_var("MS_CHUNK_CACHE", "0");
+        assert_eq!(auto.resolved_cache_budget(), 0);
+        std::env::remove_var("MS_CHUNK_CACHE");
+        assert_eq!(
+            auto.resolved_cache_budget(),
+            ms_scene::DEFAULT_CHUNK_CACHE_BYTES
+        );
     }
 
     #[test]

@@ -120,7 +120,7 @@ use crate::options::RenderOptions;
 use crate::projection::{project_model_filtered_into, ProjectedSplat};
 use crate::raster::{rasterize_unit, RasterScratch, UnitResult};
 use crate::stats::{RasterWork, TileGridDims};
-use ms_scene::{Camera, GaussianModel};
+use ms_scene::{CacheStats, Camera, GaussianModel};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -194,6 +194,16 @@ pub struct FrameProfile {
     /// Deterministic per configuration; excluded from profile equality.
     #[serde(default)]
     pub projected_bytes_peak: u64,
+    /// Chunk-cache traffic this frame generated: hits, misses, evictions
+    /// and the cache's resident-bytes high-water mark as observed during
+    /// the frame (see [`ms_scene::ChunkCache`]). All zeros on the in-core
+    /// path, which never touches the cache. Excluded from profile equality
+    /// like the byte peaks and wall times: the cache changes *where* chunk
+    /// bytes come from, never what the frame computes, and hit/miss splits
+    /// legitimately differ across cache budgets and shared-cache session
+    /// interleavings that must compare equal.
+    #[serde(default)]
+    pub cache: CacheStats,
 }
 
 /// Equality compares the *semantic* part of the profile — stage kinds and
@@ -267,6 +277,7 @@ impl FrameProfile {
         self.raster.accumulate(&other.raster);
         self.chunk_bytes_peak = self.chunk_bytes_peak.max(other.chunk_bytes_peak);
         self.projected_bytes_peak = self.projected_bytes_peak.max(other.projected_bytes_peak);
+        self.cache.accumulate(&other.cache);
     }
 }
 
@@ -330,6 +341,7 @@ impl Profiler {
             raster: RasterWork::default(),
             chunk_bytes_peak: 0,
             projected_bytes_peak: 0,
+            cache: CacheStats::default(),
         }
     }
 }

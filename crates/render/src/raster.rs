@@ -72,7 +72,8 @@ use crate::projection::ProjectedSplat;
 use crate::stats::{RasterWork, RenderStats, TileGridDims};
 use ms_math::simd::{F32x4, Mask4, U32x4};
 use ms_math::Vec2;
-use ms_scene::{Camera, GaussianModel, SceneSource};
+use ms_scene::{Camera, ChunkCache, GaussianModel, SceneSource, SourceError};
+use std::sync::Arc;
 
 /// Result of a render pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,9 +90,16 @@ pub struct RenderOutput {
 }
 
 /// The tile-based splatting renderer.
+///
+/// Cloning is cheap and shares the renderer's [`ChunkCache`]: clones (and
+/// renderers built with [`Renderer::with_chunk_cache`]) hit each other's
+/// decoded chunks when streaming the same [`SceneSource`]. The cache only
+/// changes where chunk bytes come from, never what a frame computes, so
+/// sharing is invisible to the determinism contract.
 #[derive(Debug, Clone)]
 pub struct Renderer {
     options: RenderOptions,
+    chunk_cache: Arc<ChunkCache>,
 }
 
 /// Output of rasterizing one work unit (a [`SuperTile`] rectangle of
@@ -126,12 +134,38 @@ impl Renderer {
     /// programmer errors here, not runtime conditions.
     pub fn new(options: RenderOptions) -> Self {
         options.validate().expect("invalid render options");
-        Self { options }
+        let budget = options.resolved_cache_budget();
+        Self {
+            options,
+            chunk_cache: Arc::new(ChunkCache::new(budget)),
+        }
+    }
+
+    /// Create a renderer that shares an existing [`ChunkCache`] instead of
+    /// allocating its own — the frame server uses this so every session
+    /// rendering the same scene hits one cache. The cache's budget wins
+    /// over whatever `options.cache_budget_bytes` would have resolved to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` fail validation, exactly like [`Renderer::new`].
+    pub fn with_chunk_cache(options: RenderOptions, cache: Arc<ChunkCache>) -> Self {
+        options.validate().expect("invalid render options");
+        Self {
+            options,
+            chunk_cache: cache,
+        }
     }
 
     /// The active options.
     pub fn options(&self) -> &RenderOptions {
         &self.options
+    }
+
+    /// The renderer's chunk cache (shared with clones and any renderer
+    /// built from it via [`Renderer::with_chunk_cache`]).
+    pub fn chunk_cache(&self) -> &Arc<ChunkCache> {
+        &self.chunk_cache
     }
 
     /// Render `model` from `camera`.
@@ -255,10 +289,56 @@ impl Renderer {
         camera: &Camera,
         arena: crate::FrameArena,
     ) -> (RenderOutput, crate::FrameArena) {
+        let (result, arena) = self.try_render_source_with_arena(source, camera, arena);
+        match result {
+            Ok(output) => (output, arena),
+            Err(e) => panic!("loading scene chunk failed: {e}"),
+        }
+    }
+
+    /// [`Renderer::render_source`] with chunk-load failures surfaced as an
+    /// `Err` instead of a panic. A failed load abandons the frame cleanly —
+    /// no partial image is produced and nothing poisons the renderer; the
+    /// next render is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing (configuration errors stay panics; only *source* failures
+    /// are runtime conditions).
+    pub fn try_render_source(
+        &self,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+    ) -> Result<RenderOutput, SourceError> {
+        self.try_render_source_with_arena(source, camera, crate::FrameArena::default())
+            .0
+    }
+
+    /// [`Renderer::try_render_source`] reusing `arena`'s scratch buffers.
+    /// The arena comes back usable in *both* outcomes: a failed frame
+    /// recycles its buffers into the returned arena exactly like a finished
+    /// one, so callers keep their allocation steady state across faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `camera` has a zero-pixel image or exceeds `u32` pixel
+    /// addressing.
+    pub fn try_render_source_with_arena(
+        &self,
+        source: &(dyn SceneSource + Sync),
+        camera: &Camera,
+        arena: crate::FrameArena,
+    ) -> (Result<RenderOutput, SourceError>, crate::FrameArena) {
         let scene = crate::SceneRef::Chunked(source);
         let mut frame = self.begin_frame_source(scene, camera, arena);
         while !frame.run_stage(self, scene) {}
-        frame.finish(self)
+        if frame.is_failed() {
+            let (error, arena) = frame.into_failure();
+            return (Err(error), arena);
+        }
+        let (output, arena) = frame.finish(self);
+        (Ok(output), arena)
     }
 
     /// Render with a per-point admission predicate (the foveation Filtering

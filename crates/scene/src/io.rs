@@ -17,8 +17,11 @@
 use crate::synth::{generate, SceneSpec};
 use crate::GaussianModel;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const MAGIC: u32 = 0x4D53_4753; // "MSGS"
 const VERSION: u16 = 1;
@@ -278,6 +281,13 @@ pub trait SceneSource {
     /// SH degree shared by every chunk.
     fn sh_degree(&self) -> usize;
 
+    /// Stable identity of this source for cross-frame chunk caching: two
+    /// sources must return the same id **only** when every chunk load from
+    /// either produces identical data. Implementors allocate one with
+    /// [`next_source_id`] at construction (clones of a source may share
+    /// their original's id, since they serve identical chunks).
+    fn source_id(&self) -> u64;
+
     /// Load chunk `index` into `into`, replacing its contents but keeping
     /// its allocations.
     ///
@@ -385,6 +395,7 @@ pub fn resolved_chunk_splats(pinned: usize) -> usize {
 pub struct InCoreSource {
     model: GaussianModel,
     chunk_splats: usize,
+    source_id: u64,
 }
 
 impl InCoreSource {
@@ -398,6 +409,7 @@ impl InCoreSource {
         Self {
             model,
             chunk_splats,
+            source_id: next_source_id(),
         }
     }
 
@@ -423,6 +435,10 @@ impl SceneSource for InCoreSource {
 
     fn sh_degree(&self) -> usize {
         self.model.sh_degree
+    }
+
+    fn source_id(&self) -> u64 {
+        self.source_id
     }
 
     fn chunk_base(&self, index: usize) -> usize {
@@ -470,6 +486,7 @@ pub struct ChunkedFileSource {
     chunk_bytes: Vec<u64>,
     chunk_points: Vec<usize>,
     total_points: usize,
+    source_id: u64,
 }
 
 /// Parsed container header + chunk table.
@@ -545,6 +562,7 @@ impl ChunkedFileSource {
             chunk_bytes: meta.chunk_bytes,
             chunk_points: meta.chunk_points,
             total_points: meta.total_points,
+            source_id: next_source_id(),
         }
     }
 
@@ -609,6 +627,10 @@ impl SceneSource for ChunkedFileSource {
         self.sh_degree
     }
 
+    fn source_id(&self) -> u64 {
+        self.source_id
+    }
+
     fn load_chunk_into(&self, index: usize, into: &mut GaussianModel) -> Result<(), SourceError> {
         let count = self.chunk_count();
         if index >= count {
@@ -651,6 +673,7 @@ impl SceneSource for ChunkedFileSource {
 pub struct SynthChunkedSource {
     spec: SceneSpec,
     chunk_splats: usize,
+    source_id: u64,
 }
 
 impl SynthChunkedSource {
@@ -665,7 +688,11 @@ impl SynthChunkedSource {
             return Err("chunk_splats must be > 0".into());
         }
         spec.validate()?;
-        Ok(Self { spec, chunk_splats })
+        Ok(Self {
+            spec,
+            chunk_splats,
+            source_id: next_source_id(),
+        })
     }
 
     /// The derived spec generating chunk `index`.
@@ -699,6 +726,10 @@ impl SceneSource for SynthChunkedSource {
         self.spec.sh_degree
     }
 
+    fn source_id(&self) -> u64 {
+        self.source_id
+    }
+
     fn chunk_base(&self, index: usize) -> usize {
         (index * self.chunk_splats).min(self.spec.total_points)
     }
@@ -712,6 +743,434 @@ impl SceneSource for SynthChunkedSource {
         debug_assert_eq!(scene.model.len(), self.chunk_len(index));
         *into = scene.model;
         Ok(())
+    }
+}
+
+static NEXT_SOURCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique [`SceneSource::source_id`]. Every concrete
+/// source takes one at construction; ids are never reused, so a cache entry
+/// can only ever be served back to the source that produced it.
+pub fn next_source_id() -> u64 {
+    NEXT_SOURCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Identity of one decoded chunk in a [`ChunkCache`]:
+/// `(source, chunk index, LOD stride)`. LOD 0 is the full-resolution chunk;
+/// a non-zero LOD is the stride of a
+/// [`load_coarse_chunk_into`](SceneSource::load_coarse_chunk_into) subset,
+/// cached separately because it holds different points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// [`SceneSource::source_id`] of the producing source.
+    pub source_id: u64,
+    /// Chunk index within that source.
+    pub chunk_idx: usize,
+    /// LOD stride (0 = full resolution).
+    pub lod: usize,
+}
+
+/// Counter block describing a [`ChunkCache`]'s traffic. Rides in
+/// `FrameProfile` (per-frame deltas) and `ServerReport` (whole-cache
+/// totals). Like the other profile byte counters, it is *excluded* from
+/// profile equality: hit patterns depend on cache budget and session
+/// interleaving, while pixels and work counters do not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache (decode skipped).
+    pub hits: u64,
+    /// Lookups that fell through to the source.
+    pub misses: u64,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// High-water mark of resident decoded bytes.
+    pub resident_bytes_peak: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Merge another stats block into this one: traffic counters add,
+    /// the resident high-water takes the max.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.resident_bytes_peak = self.resident_bytes_peak.max(other.resident_bytes_peak);
+    }
+}
+
+/// Outcome of one [`ChunkCache::load_into`] call, for per-frame stats
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the chunk was served from the cache.
+    pub hit: bool,
+    /// Entries this load evicted when inserting its miss.
+    pub evictions: u64,
+}
+
+/// Default [`ChunkCache`] byte budget when neither the caller nor the
+/// `MS_CHUNK_CACHE` environment variable pins one (32 MiB — a few hundred
+/// default-size chunks of SH-degree-0 scenes, small against the render
+/// buffers of even one session).
+pub const DEFAULT_CHUNK_CACHE_BYTES: usize = 32 << 20;
+
+const CACHE_SHARDS: usize = 8;
+
+/// One decoded chunk held by a cache shard.
+struct CacheEntry {
+    key: ChunkKey,
+    model: GaussianModel,
+    bytes: u64,
+}
+
+/// One lock's worth of cache: entries ordered least- (front) to most-
+/// (back) recently used. Linear scans are fine — a shard holds at most a
+/// few hundred chunk-sized entries, and every hit already pays a chunk
+/// memcpy that dwarfs the scan.
+#[derive(Default)]
+struct CacheShard {
+    entries: Vec<CacheEntry>,
+}
+
+/// A byte-budgeted, sharded LRU cache of **decoded** chunks, keyed by
+/// [`ChunkKey`]. Shared `Arc`-wide: every renderer holds one, and a frame
+/// server hands the same cache to all of its sessions, so sessions
+/// rendering the same scene hit each other's decodes — the second (scatter)
+/// pass of a streamed frame, and every frame after the first, skip the
+/// decode entirely.
+///
+/// Caching never changes pixels: a hit replays the exact bytes the decode
+/// produced (decoding is deterministic in the chunk contents), so cached
+/// and uncached renders are bit-identical for every budget — the cache only
+/// moves wall time. See `tests/determinism.rs`.
+///
+/// The byte budget is enforced globally across shards: an insert reserves
+/// its bytes against the shared resident counter first and evicts from its
+/// own shard (strict per-shard LRU order) until the reservation fits,
+/// declining to store when its shard has nothing left to evict. Resident
+/// bytes therefore never exceed the budget, even under concurrent inserts.
+/// A zero budget degrades to pass-through: nothing is stored, every lookup
+/// is a miss, and resident bytes stay zero.
+pub struct ChunkCache {
+    shards: Vec<Mutex<CacheShard>>,
+    budget: u64,
+    resident: AtomicU64,
+    resident_peak: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("budget_bytes", &self.budget)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ChunkCache {
+    /// Create a cache holding at most `budget_bytes` of decoded chunks
+    /// (measured by [`GaussianModel::storage_bytes`]). `0` disables storage
+    /// entirely (pass-through); `usize::MAX` is effectively unbounded.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            budget: budget_bytes as u64,
+            resident: AtomicU64::new(0),
+            resident_peak: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Currently resident decoded bytes (always `<=` the budget).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cache's lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes_peak: self.resident_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deterministic shard index for a key (multiply-mix of the key
+    /// fields — stable across runs and platforms, unlike `RandomState`).
+    fn shard_of(key: &ChunkKey) -> usize {
+        const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut h = key.source_id.wrapping_mul(MIX) ^ (key.chunk_idx as u64);
+        h = h.wrapping_mul(MIX) ^ (key.lod as u64);
+        h = h.wrapping_mul(MIX);
+        (h >> 56) as usize % CACHE_SHARDS
+    }
+
+    /// Copy the cached chunk for `key` into `into` (keeping `into`'s
+    /// allocations) and mark it most recently used. Returns `false` — and
+    /// leaves `into` untouched — on a miss. Counts one hit or miss.
+    pub fn get_into(&self, key: &ChunkKey, into: &mut GaussianModel) -> bool {
+        if self.budget > 0 {
+            let mut shard = self.shards[Self::shard_of(key)].lock().unwrap();
+            if let Some(pos) = shard.entries.iter().position(|e| e.key == *key) {
+                let entry = shard.entries.remove(pos);
+                entry.model.clone_range_into(0..entry.model.len(), into);
+                shard.entries.push(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Store a decoded chunk under `key`, evicting least-recently-used
+    /// entries from the key's shard as needed to honor the byte budget.
+    /// Returns the number of entries evicted. Oversized chunks (and every
+    /// chunk, when the budget is 0) are silently not stored; re-inserting a
+    /// resident key only refreshes its recency.
+    pub fn insert(&self, key: ChunkKey, model: &GaussianModel) -> u64 {
+        let bytes = model.storage_bytes() as u64;
+        if self.budget == 0 || bytes > self.budget {
+            return 0;
+        }
+        let mut shard = self.shards[Self::shard_of(&key)].lock().unwrap();
+        if let Some(pos) = shard.entries.iter().position(|e| e.key == key) {
+            let entry = shard.entries.remove(pos);
+            shard.entries.push(entry);
+            return 0;
+        }
+        // Reserve globally before storing, so concurrent inserts into other
+        // shards can never combine past the budget.
+        let mut resident = self.resident.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        let mut evicted = 0u64;
+        while resident > self.budget {
+            if shard.entries.is_empty() {
+                // The overshoot is resident in *other* shards; nothing local
+                // to evict, so back the reservation out and decline.
+                self.resident.fetch_sub(bytes, Ordering::AcqRel);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                return evicted;
+            }
+            let victim = shard.entries.remove(0);
+            resident = self.resident.fetch_sub(victim.bytes, Ordering::AcqRel) - victim.bytes;
+            evicted += 1;
+        }
+        shard.entries.push(CacheEntry {
+            key,
+            model: model.clone(),
+            bytes,
+        });
+        self.resident_peak.fetch_max(resident, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Resident keys of one shard in LRU order (front = next eviction
+    /// victim) — test observability for the LRU proptests.
+    #[cfg(test)]
+    fn shard_keys(&self, shard: usize) -> Vec<ChunkKey> {
+        self.shards[shard]
+            .lock()
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| e.key)
+            .collect()
+    }
+
+    /// Cache-aware chunk load: serve `(source, index, stride)` from the
+    /// cache when resident, otherwise load it from the source — verifying
+    /// full-resolution chunks deliver exactly
+    /// [`chunk_len`](SceneSource::chunk_len) points (a short read is a
+    /// [`DecodeError::Invalid`], never silent data loss) — and insert the
+    /// decoded chunk. `stride <= 1` is the full-resolution chunk; larger
+    /// strides cache the coarse subset under its own LOD key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`SourceError`]; failed loads insert
+    /// nothing.
+    pub fn load_into<S: SceneSource + ?Sized>(
+        &self,
+        source: &S,
+        index: usize,
+        stride: usize,
+        into: &mut GaussianModel,
+    ) -> Result<CacheAccess, SourceError> {
+        let lod = if stride <= 1 { 0 } else { stride };
+        let key = ChunkKey {
+            source_id: source.source_id(),
+            chunk_idx: index,
+            lod,
+        };
+        if self.get_into(&key, into) {
+            return Ok(CacheAccess {
+                hit: true,
+                evictions: 0,
+            });
+        }
+        if lod == 0 {
+            source.load_chunk_into(index, into)?;
+            let expected = source.chunk_len(index);
+            if into.len() != expected {
+                return Err(SourceError::Decode(DecodeError::Invalid(format!(
+                    "chunk {index} short read: {} of {expected} points",
+                    into.len()
+                ))));
+            }
+        } else {
+            source.load_coarse_chunk_into(index, stride, into)?;
+        }
+        let evictions = self.insert(key, into);
+        Ok(CacheAccess {
+            hit: false,
+            evictions,
+        })
+    }
+}
+
+/// How a [`FailingSource`] sabotages its scripted chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// The load returns `Err(SourceError::Decode(DecodeError::Truncated))`.
+    Error,
+    /// The load "succeeds" but delivers one point fewer than
+    /// [`chunk_len`](SceneSource::chunk_len) claims — a short read, caught
+    /// by [`ChunkCache::load_into`]'s length check.
+    ShortRead,
+}
+
+/// Fault-injection test double: a [`SceneSource`] wrapper that sabotages
+/// loads of one scripted chunk index, either every time ([`new`](Self::new))
+/// or only for the first *n* loads ([`transient`](Self::transient) — a
+/// fault that heals, so exactly one consumer of a shared source hits it).
+/// Everything else delegates to the wrapped source. Used by the streaming
+/// error-path tests (`tests/fault_injection.rs`) to prove a failed chunk
+/// surfaces as a clean [`SourceError`] instead of a panic, poisoned arena,
+/// or torn frame server.
+#[derive(Debug)]
+pub struct FailingSource<S> {
+    inner: S,
+    fail_at: usize,
+    mode: FailureMode,
+    /// Remaining sabotaged loads; `None` fails forever.
+    fuse: Option<AtomicU64>,
+    source_id: u64,
+}
+
+impl<S: SceneSource> FailingSource<S> {
+    /// Fail every load of chunk `fail_at`.
+    pub fn new(inner: S, fail_at: usize, mode: FailureMode) -> Self {
+        Self {
+            inner,
+            fail_at,
+            mode,
+            fuse: None,
+            source_id: next_source_id(),
+        }
+    }
+
+    /// Fail only the first `count` loads of chunk `fail_at`, then behave
+    /// normally.
+    pub fn transient(inner: S, fail_at: usize, mode: FailureMode, count: u64) -> Self {
+        Self {
+            fuse: Some(AtomicU64::new(count)),
+            ..Self::new(inner, fail_at, mode)
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether this load should be sabotaged (burns one fuse charge).
+    fn should_fail(&self, index: usize) -> bool {
+        if index != self.fail_at {
+            return false;
+        }
+        match &self.fuse {
+            None => true,
+            Some(left) => left
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_ok(),
+        }
+    }
+}
+
+impl<S: SceneSource> SceneSource for FailingSource<S> {
+    fn chunk_count(&self) -> usize {
+        self.inner.chunk_count()
+    }
+
+    fn chunk_len(&self, index: usize) -> usize {
+        self.inner.chunk_len(index)
+    }
+
+    fn total_points(&self) -> usize {
+        self.inner.total_points()
+    }
+
+    fn sh_degree(&self) -> usize {
+        self.inner.sh_degree()
+    }
+
+    fn source_id(&self) -> u64 {
+        self.source_id
+    }
+
+    fn chunk_base(&self, index: usize) -> usize {
+        self.inner.chunk_base(index)
+    }
+
+    fn load_chunk_into(&self, index: usize, into: &mut GaussianModel) -> Result<(), SourceError> {
+        if self.should_fail(index) {
+            match self.mode {
+                FailureMode::Error => {
+                    return Err(SourceError::Decode(DecodeError::Truncated));
+                }
+                FailureMode::ShortRead => {
+                    self.inner.load_chunk_into(index, into)?;
+                    if !into.is_empty() {
+                        let n = into.len() - 1;
+                        let stride = into.sh_stride();
+                        into.positions.truncate(n);
+                        into.scales.truncate(n);
+                        into.rotations.truncate(n);
+                        into.opacities.truncate(n);
+                        into.sh_coeffs.truncate(n * stride);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        self.inner.load_chunk_into(index, into)
     }
 }
 
@@ -953,6 +1412,213 @@ mod tests {
         assert_eq!(resolved_chunk_splats(1234), 1234);
     }
 
+    #[test]
+    fn source_ids_are_unique_per_source() {
+        let m = sample();
+        let a = InCoreSource::new(m.clone(), 64);
+        let b = InCoreSource::new(m.clone(), 64);
+        assert_ne!(a.source_id(), b.source_id());
+        // A clone serves identical chunks, so it may share the id.
+        assert_eq!(a.clone().source_id(), a.source_id());
+        let f = ChunkedFileSource::from_bytes(encode_model_chunked(&m, 64).to_vec()).unwrap();
+        assert_ne!(f.source_id(), a.source_id());
+        assert_ne!(f.source_id(), b.source_id());
+    }
+
+    #[test]
+    fn cache_load_into_hits_replay_exact_bytes() {
+        let m = sample();
+        let src = InCoreSource::new(m.clone(), 64);
+        let cache = ChunkCache::new(usize::MAX);
+        let mut first = GaussianModel::default();
+        let mut again = GaussianModel::default();
+        for i in 0..src.chunk_count() {
+            let access = cache.load_into(&src, i, 0, &mut first).unwrap();
+            assert!(!access.hit, "chunk {i} cold load must miss");
+            let access = cache.load_into(&src, i, 0, &mut again).unwrap();
+            assert!(access.hit, "chunk {i} warm load must hit");
+            assert_eq!(first, again, "chunk {i} hit differs from decode");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, src.chunk_count() as u64);
+        assert_eq!(stats.misses, src.chunk_count() as u64);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.resident_bytes(), m.storage_bytes() as u64);
+        assert_eq!(stats.resident_bytes_peak, cache.resident_bytes());
+    }
+
+    #[test]
+    fn cache_distinguishes_sources_and_lods() {
+        let m = sample();
+        let a = InCoreSource::new(m.clone(), 64);
+        let b = InCoreSource::new(coarse_subset(&m, 2, 0), 64);
+        let cache = ChunkCache::new(usize::MAX);
+        let mut buf = GaussianModel::default();
+        assert!(!cache.load_into(&a, 0, 0, &mut buf).unwrap().hit);
+        // Same chunk index, different source: must not alias.
+        assert!(!cache.load_into(&b, 0, 0, &mut buf).unwrap().hit);
+        assert_eq!(buf, b.load_chunk(0).unwrap());
+        // Same source and index, coarse stride: its own entry.
+        assert!(!cache.load_into(&a, 0, 3, &mut buf).unwrap().hit);
+        let mut reference = GaussianModel::default();
+        a.load_coarse_chunk_into(0, 3, &mut reference).unwrap();
+        assert_eq!(buf, reference);
+        assert!(cache.load_into(&a, 0, 3, &mut buf).unwrap().hit);
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    fn oversized_chunk_is_not_stored() {
+        let m = sample();
+        let src = InCoreSource::new(m.clone(), m.len());
+        let cache = ChunkCache::new(8); // smaller than any real chunk
+        let mut buf = GaussianModel::default();
+        assert!(!cache.load_into(&src, 0, 0, &mut buf).unwrap().hit);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(!cache.load_into(&src, 0, 0, &mut buf).unwrap().hit);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().resident_bytes_peak, 0);
+    }
+
+    #[test]
+    fn failing_source_error_mode_fails_scripted_chunk_only() {
+        let m = sample();
+        let src = FailingSource::new(InCoreSource::new(m.clone(), 64), 2, FailureMode::Error);
+        let mut buf = GaussianModel::default();
+        for i in 0..src.chunk_count() {
+            let result = src.load_chunk_into(i, &mut buf);
+            if i == 2 {
+                assert_eq!(
+                    result,
+                    Err(SourceError::Decode(DecodeError::Truncated)),
+                    "chunk 2 must fail every time"
+                );
+            } else {
+                result.unwrap();
+                assert_eq!(buf.len(), src.chunk_len(i));
+            }
+        }
+        // Still failing on retry (no fuse).
+        assert!(src.load_chunk_into(2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn failing_source_short_read_is_caught_by_cache_load() {
+        let m = sample();
+        let src = FailingSource::new(InCoreSource::new(m.clone(), 64), 1, FailureMode::ShortRead);
+        let mut buf = GaussianModel::default();
+        // The raw load "succeeds" with one point missing...
+        src.load_chunk_into(1, &mut buf).unwrap();
+        assert_eq!(buf.len(), src.chunk_len(1) - 1);
+        buf.validate().unwrap();
+        // ...and the cache-aware load turns it into a decode error.
+        let cache = ChunkCache::new(usize::MAX);
+        let err = cache.load_into(&src, 1, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, SourceError::Decode(DecodeError::Invalid(_))));
+        // Nothing bogus was inserted: the next load misses again.
+        assert!(cache.load_into(&src, 1, 0, &mut buf).is_err());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn transient_failing_source_heals_after_fuse_burns() {
+        let m = sample();
+        let src =
+            FailingSource::transient(InCoreSource::new(m.clone(), 64), 0, FailureMode::Error, 2);
+        let mut buf = GaussianModel::default();
+        assert!(src.load_chunk_into(0, &mut buf).is_err());
+        assert!(src.load_chunk_into(0, &mut buf).is_err());
+        src.load_chunk_into(0, &mut buf).unwrap();
+        assert_eq!(buf.len(), src.chunk_len(0));
+    }
+
+    /// Reference model of the documented cache policy: global byte budget,
+    /// reservation-first, strict per-shard LRU eviction, decline when the
+    /// inserting shard is empty.
+    struct RefCache {
+        shards: Vec<Vec<(ChunkKey, u64)>>,
+        budget: u64,
+        resident: u64,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        resident_peak: u64,
+    }
+
+    impl RefCache {
+        fn new(budget: u64) -> Self {
+            Self {
+                shards: (0..8).map(|_| Vec::new()).collect(),
+                budget,
+                resident: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                resident_peak: 0,
+            }
+        }
+
+        fn get(&mut self, key: ChunkKey) -> bool {
+            let shard = &mut self.shards[ChunkCache::shard_of(&key)];
+            if self.budget > 0 {
+                if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+                    let entry = shard.remove(pos);
+                    shard.push(entry);
+                    self.hits += 1;
+                    return true;
+                }
+            }
+            self.misses += 1;
+            false
+        }
+
+        fn insert(&mut self, key: ChunkKey, bytes: u64) -> u64 {
+            if self.budget == 0 || bytes > self.budget {
+                return 0;
+            }
+            let shard = &mut self.shards[ChunkCache::shard_of(&key)];
+            if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+                let entry = shard.remove(pos);
+                shard.push(entry);
+                return 0;
+            }
+            let mut resident = self.resident + bytes;
+            let mut evicted = 0;
+            while resident > self.budget {
+                if shard.is_empty() {
+                    self.evictions += evicted;
+                    return evicted;
+                }
+                let (_, victim) = shard.remove(0);
+                resident -= victim;
+                self.resident -= victim;
+                evicted += 1;
+            }
+            shard.push((key, bytes));
+            self.resident = resident;
+            self.resident_peak = self.resident_peak.max(resident);
+            self.evictions += evicted;
+            evicted
+        }
+    }
+
+    /// A tiny model of `points` solid splats (SH degree 0), for exercising
+    /// the cache with varied entry sizes.
+    fn chunk_model(points: usize) -> GaussianModel {
+        let mut m = GaussianModel::new(0);
+        for i in 0..points {
+            m.push_solid(
+                ms_math::Vec3::new(i as f32, 0.0, 0.0),
+                ms_math::Vec3::splat(0.1),
+                ms_math::Quat::identity(),
+                0.5,
+                ms_math::Vec3::one(),
+            );
+        }
+        m
+    }
+
     proptest! {
         #[test]
         fn multi_chunk_roundtrip(points in 0usize..400, chunk in 1usize..500) {
@@ -1007,6 +1673,82 @@ mod tests {
                 }
             }
             return Err("truncated container decoded every chunk".into());
+        }
+
+        /// Random get/insert traffic: resident bytes never exceed the
+        /// budget, eviction follows strict per-shard LRU order, and every
+        /// counter matches a straightforward reference simulation.
+        #[test]
+        fn cache_budget_and_lru_invariants(
+            budget in 0u64..4000,
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, 0u64..3, 0usize..8, 0usize..2, 0usize..12),
+                1..60,
+            ),
+        ) {
+            let cache = ChunkCache::new(budget as usize);
+            let mut reference = RefCache::new(budget);
+            let mut buf = GaussianModel::default();
+            for (is_insert, source_id, chunk_idx, lod, points) in ops {
+                let key = ChunkKey { source_id, chunk_idx, lod };
+                if is_insert {
+                    let model = chunk_model(points);
+                    let evicted = cache.insert(key, &model);
+                    let expected = reference.insert(key, model.storage_bytes() as u64);
+                    prop_assert_eq!(evicted, expected);
+                } else {
+                    let hit = cache.get_into(&key, &mut buf);
+                    prop_assert_eq!(hit, reference.get(key));
+                }
+                prop_assert!(cache.resident_bytes() <= budget);
+                prop_assert_eq!(cache.resident_bytes(), reference.resident);
+                for shard in 0..8 {
+                    let keys: Vec<ChunkKey> =
+                        reference.shards[shard].iter().map(|(k, _)| *k).collect();
+                    prop_assert_eq!(cache.shard_keys(shard), keys);
+                }
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits, reference.hits);
+            prop_assert_eq!(stats.misses, reference.misses);
+            prop_assert_eq!(stats.evictions, reference.evictions);
+            prop_assert_eq!(stats.resident_bytes_peak, reference.resident_peak);
+        }
+
+        /// A capacity-zero cache degrades to pass-through: every access is
+        /// a miss, nothing is ever resident, and loads still deliver exact
+        /// chunk data.
+        #[test]
+        fn zero_budget_cache_is_pass_through(points in 1usize..200, chunk in 1usize..64) {
+            let m = generate(&SceneSpec {
+                total_points: points,
+                ..SceneSpec::default()
+            })
+            .unwrap()
+            .model;
+            let src = InCoreSource::new(m.clone(), chunk);
+            let cache = ChunkCache::new(0);
+            let mut out = GaussianModel::new(src.sh_degree());
+            let mut buf = GaussianModel::default();
+            for pass in 0..2 {
+                out.positions.clear();
+                out.scales.clear();
+                out.rotations.clear();
+                out.opacities.clear();
+                out.sh_coeffs.clear();
+                for i in 0..src.chunk_count() {
+                    let access = cache.load_into(&src, i, 0, &mut buf).unwrap();
+                    prop_assert!(!access.hit, "pass {} chunk {} must miss", pass, i);
+                    prop_assert_eq!(access.evictions, 0);
+                    out.extend_from(&buf);
+                }
+                prop_assert_eq!(&out, &m);
+                prop_assert_eq!(cache.resident_bytes(), 0);
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits, 0);
+            prop_assert_eq!(stats.misses, 2 * src.chunk_count() as u64);
+            prop_assert_eq!(stats.resident_bytes_peak, 0);
         }
     }
 }

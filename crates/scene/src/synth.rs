@@ -306,8 +306,27 @@ pub fn generate(spec: &SceneSpec) -> Result<Scene, String> {
     // what makes the paper's 84-90% pruning rates quality-neutral. The
     // duplicates sit almost exactly on their originals (tight jitter, same
     // color), so removing either of the pair barely changes the image.
-    let existing = model.len().max(1);
+    let existing = model.len();
     for _ in 0..n_duplicate {
+        if existing == 0 {
+            // Nothing to duplicate — tiny scenes can allot every point to
+            // this class. Emit plain cluster points so the total count
+            // still holds (this branch used to index an empty model).
+            let pos = sample_unit_vector(&mut rng) * (0.3 * r);
+            let base = scale_of(&mut rng, 1.0);
+            let tint = rng.gen_range(0.4..0.8f32);
+            let opacity = rng.gen_range(0.3..0.9f32);
+            push_sh_point(
+                &mut model,
+                &mut rng,
+                pos,
+                Vec3::splat(base),
+                opacity,
+                Vec3::splat(tint),
+                0.3,
+            );
+            continue;
+        }
         let src = rng.gen_range(0..existing);
         let p = model.point(src);
         let jitter = sample_unit_vector(&mut rng) * p.scale.max_component() * 0.15;

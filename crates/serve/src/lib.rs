@@ -9,8 +9,22 @@
 //! * **One shared scene.** [`FrameServer`] owns a [`SceneHandle`] — an
 //!   `Arc<GaussianModel>` or an `Arc<dyn SceneSource>` streamed chunk by
 //!   chunk; sessions never copy scene data. Chunked sessions advance one
-//!   chunk of Project/Bin per step (one chunk buffer resident per
-//!   session), and their frames are bit-identical to in-core ones.
+//!   chunk of Project/Bin per step (at most two chunk buffers resident per
+//!   session with the decode prefetch), and their frames are bit-identical
+//!   to in-core ones.
+//! * **One shared chunk cache.** Every session's renderer shares the
+//!   server's [`ChunkCache`], so sessions streaming the same scene hit
+//!   each other's decodes — with N sessions walking the same chunked
+//!   source, each chunk decodes roughly once for the whole server instead
+//!   of once per pass per session. Cache traffic is aggregated in
+//!   [`ServerReport::cache`]. Cache hits return the exact decoded bytes, so
+//!   sharing never affects determinism.
+//! * **Fault isolation.** A chunk-load failure ([`SourceError`]) kills only
+//!   the session that hit it: the failed frame's buffers are recovered, the
+//!   session stops admitting and reports the error via
+//!   [`session_error`](FrameServer::session_error), and every other
+//!   session keeps producing bit-identical frames
+//!   (`tests/fault_injection.rs` pins one failing session among 16).
 //! * **Per-session streams.** [`SessionConfig`] pairs a
 //!   [`Trajectory`] + prototype [`Camera`] (the pose source) with
 //!   [`RenderOptions`] (quality knobs) — options are validated **once at
@@ -41,7 +55,7 @@
 
 use ms_render::{FrameArena, FrameInFlight, RenderOptions, RenderOutput, Renderer, SceneRef};
 use ms_scene::trajectory::Trajectory;
-use ms_scene::{Camera, GaussianModel, SceneSource};
+use ms_scene::{CacheStats, Camera, ChunkCache, GaussianModel, SceneSource, SourceError};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -157,17 +171,23 @@ struct Session {
     latencies: Vec<Duration>,
     first_started: Option<Instant>,
     last_completed: Option<Instant>,
+    /// The chunk-load error that killed this session, if any. A failed
+    /// session stops admitting frames but stays queryable
+    /// ([`FrameServer::session_error`]); other sessions are unaffected.
+    failed: Option<SourceError>,
 }
 
 impl Session {
-    /// Frames this session still owes (admitted or not yet admitted).
+    /// Frames this session still owes (admitted or not yet admitted). A
+    /// failed session owes nothing — it is finished, albeit unsuccessfully.
     fn is_finished(&self) -> bool {
-        self.next_frame >= self.frame_count && self.in_flight.is_empty()
+        (self.next_frame >= self.frame_count || self.failed.is_some()) && self.in_flight.is_empty()
     }
 
     /// Admit frames up to the window and backpressure limits.
     fn admit(&mut self, scene: SceneRef<'_>) {
-        while self.next_frame < self.frame_count
+        while self.failed.is_none()
+            && self.next_frame < self.frame_count
             && self.in_flight.len() < self.window
             && self.in_flight.len() + self.ring.len() < self.ring_capacity
         {
@@ -191,22 +211,35 @@ impl Session {
     /// Move finished frames from the pipeline window into the output ring.
     /// Completion is in-order (the window is FIFO), so a done frame behind
     /// an unfinished one waits — frame indices in the ring are
-    /// monotonically increasing.
+    /// monotonically increasing. A *failed* front frame instead kills the
+    /// session: its error is recorded, its buffers recovered, and any
+    /// frames queued behind it abandoned (their outputs would follow a
+    /// hole in the stream). Frames already delivered stay delivered.
     fn complete(&mut self) -> usize {
         let mut completed = 0;
-        while self.in_flight.front().is_some_and(|f| f.frame.is_done()) {
-            let inf = self.in_flight.pop_front().expect("front checked above");
-            let (output, arena) = inf.frame.finish(&self.renderer);
-            self.arenas.push(arena);
-            let latency = inf.started.elapsed();
-            self.latencies.push(latency);
-            self.last_completed = Some(Instant::now());
-            self.ring.push_back(FrameResult {
-                frame_index: inf.index,
-                output,
-                latency,
-            });
-            completed += 1;
+        while let Some(front) = self.in_flight.front() {
+            if front.frame.is_done() {
+                let inf = self.in_flight.pop_front().expect("front checked above");
+                let (output, arena) = inf.frame.finish(&self.renderer);
+                self.arenas.push(arena);
+                let latency = inf.started.elapsed();
+                self.latencies.push(latency);
+                self.last_completed = Some(Instant::now());
+                self.ring.push_back(FrameResult {
+                    frame_index: inf.index,
+                    output,
+                    latency,
+                });
+                completed += 1;
+            } else if front.frame.is_failed() {
+                let inf = self.in_flight.pop_front().expect("front checked above");
+                let (error, arena) = inf.frame.into_failure();
+                self.arenas.push(arena);
+                self.failed = Some(error);
+                self.in_flight.clear();
+            } else {
+                break;
+            }
         }
         completed
     }
@@ -276,6 +309,11 @@ pub struct ServerReport {
     pub wall: Duration,
     /// Total frames over `wall` — the server's aggregate throughput.
     pub aggregate_fps: f64,
+    /// Lifetime traffic of the server's shared [`ChunkCache`]: hits,
+    /// misses, evictions and the resident-bytes high-water mark, summed
+    /// over every session and frame so far. All zeros for in-core scenes,
+    /// which never touch the cache.
+    pub cache: CacheStats,
 }
 
 /// Frame server: one shared scene, many pipelined sessions.
@@ -287,6 +325,9 @@ pub struct FrameServer {
     scene: SceneHandle,
     sessions: Vec<Session>,
     next_id: u64,
+    /// Chunk cache shared by every session's renderer, so sessions
+    /// streaming the same scene hit each other's decodes.
+    cache: Arc<ChunkCache>,
 }
 
 impl FrameServer {
@@ -296,25 +337,43 @@ impl FrameServer {
     }
 
     /// Create a server streaming a shared chunked source: sessions run the
-    /// chunked Project/Bin passes (one chunk per scheduling step, one
-    /// chunk buffer resident per session) and interleave exactly like
-    /// in-core ones.
+    /// chunked Project/Bin passes (one chunk per scheduling step, at most
+    /// two chunk buffers resident per session) and interleave exactly like
+    /// in-core ones, sharing one chunk cache across all sessions.
     pub fn new_chunked(source: Arc<dyn SceneSource + Send + Sync>) -> Self {
         Self::new_scene(SceneHandle::Chunked(source))
     }
 
-    /// Create a server for any [`SceneHandle`].
+    /// Create a server for any [`SceneHandle`]. The shared chunk cache's
+    /// budget resolves like a default renderer's
+    /// ([`RenderOptions::cache_budget_bytes`] unset: the `MS_CHUNK_CACHE`
+    /// env var, else the built-in default); use
+    /// [`new_scene_with_cache`](Self::new_scene_with_cache) to pick one
+    /// explicitly.
     pub fn new_scene(scene: SceneHandle) -> Self {
+        let budget = RenderOptions::default().resolved_cache_budget();
+        Self::new_scene_with_cache(scene, Arc::new(ChunkCache::new(budget)))
+    }
+
+    /// Create a server whose sessions share `cache` — also lets several
+    /// servers share one cache, or tests pick an exact budget.
+    pub fn new_scene_with_cache(scene: SceneHandle, cache: Arc<ChunkCache>) -> Self {
         Self {
             scene,
             sessions: Vec::new(),
             next_id: 0,
+            cache,
         }
     }
 
     /// The shared scene.
     pub fn scene(&self) -> &SceneHandle {
         &self.scene
+    }
+
+    /// The chunk cache every session's renderer shares.
+    pub fn chunk_cache(&self) -> &Arc<ChunkCache> {
+        &self.cache
     }
 
     /// The shared in-core model, `None` when the server streams a chunked
@@ -349,7 +408,7 @@ impl FrameServer {
         self.next_id += 1;
         self.sessions.push(Session {
             id,
-            renderer: Renderer::new(config.options),
+            renderer: Renderer::with_chunk_cache(config.options, Arc::clone(&self.cache)),
             trajectory: config.trajectory,
             prototype: config.prototype,
             frame_count: config.frame_count,
@@ -362,8 +421,19 @@ impl FrameServer {
             latencies: Vec::new(),
             first_started: None,
             last_completed: None,
+            failed: None,
         });
         Ok(id)
+    }
+
+    /// The chunk-load error that killed a session, `None` while it is
+    /// healthy (or for an unknown id). A failed session completes no
+    /// further frames; frames it delivered before the fault remain valid.
+    pub fn session_error(&self, id: SessionId) -> Option<&SourceError> {
+        self.sessions
+            .iter()
+            .find(|s| s.id == id)
+            .and_then(|s| s.failed.as_ref())
     }
 
     /// Remove a session mid-run, dropping its in-flight frames and
@@ -481,6 +551,7 @@ impl FrameServer {
             total_frames,
             wall,
             aggregate_fps,
+            cache: self.cache.stats(),
         }
     }
 }

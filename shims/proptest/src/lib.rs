@@ -5,7 +5,8 @@
 //!
 //! * the [`proptest!`] macro (`fn name(x in strategy, ..) { body }`),
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
-//! * range strategies over floats and integers,
+//! * range strategies over floats, integers, and booleans
+//!   ([`bool::ANY`]), plus tuples of strategies,
 //! * [`collection::vec`] with exact or ranged sizes,
 //! * [`array::uniform3`] / [`array::uniform9`].
 //!
@@ -71,6 +72,43 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Boolean strategies (mirrors `proptest::bool`).
+pub mod bool {
+    /// Uniform boolean strategy — see [`ANY`].
+    #[derive(Debug, Clone)]
+    pub struct Any;
+
+    /// Strategy drawing `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut super::test_runner::TestRng) -> bool {
+            use rand::Rng;
+            rng.0.gen_range(0u32..2) == 1
+        }
+    }
+}
 
 /// A strategy producing one fixed value (mirrors `proptest::strategy::Just`).
 #[derive(Debug, Clone)]
@@ -258,6 +296,9 @@ mod tests {
             assert!(v.iter().all(|&e| e < 5));
             let a = Strategy::sample(&crate::array::uniform3(0.0f64..1.0), &mut rng);
             assert!(a.iter().all(|&e| (0.0..1.0).contains(&e)));
+            let (flag, n) = Strategy::sample(&(crate::bool::ANY, 0u32..4), &mut rng);
+            assert!(matches!(flag, true | false));
+            assert!(n < 4);
         }
     }
 

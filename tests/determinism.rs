@@ -592,6 +592,126 @@ fn chunked_scratch_peak_is_bounded_by_chunk_not_model() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chunk cache: the sixth determinism axis
+// ---------------------------------------------------------------------------
+//
+// The cross-frame chunk cache must change *where* chunk bytes come from,
+// never what a frame computes: for every cache budget — disabled, exactly
+// one chunk, unbounded — a cached chunked render must be bit-identical to
+// the uncached one, and both to the in-core reference, for every chunk
+// size and thread count. Renderers are reused across frames so later
+// frames exercise warm-cache replay, not just the intra-frame hits.
+
+#[test]
+fn cached_chunked_render_is_bit_identical_across_budgets() {
+    let s = scene();
+    let cam = camera(&s);
+    let serial = Renderer::new(opts(1)).render(&s.model, &cam);
+    for chunk_splats in chunk_sizes(s.model.len()) {
+        let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+        let one_chunk_bytes = {
+            let mut probe = metasapiens::scene::GaussianModel::new(0);
+            s.model.clone_range_into(0..chunk_splats, &mut probe);
+            probe.storage_bytes()
+        };
+        for budget in [0, one_chunk_bytes, usize::MAX] {
+            for threads in [1, 2, 3, 8, 0] {
+                let o = RenderOptions {
+                    cache_budget_bytes: Some(budget),
+                    ..opts(threads)
+                };
+                let renderer = Renderer::new(o);
+                // Two frames from one renderer: the first populates the
+                // cache (budget permitting), the second replays it.
+                let first = renderer.render_source(&source, &cam);
+                let second = renderer.render_source(&source, &cam);
+                for out in [&first, &second] {
+                    assert_bit_identical(out, &serial, threads);
+                    // Profile equality (kind, items pairs) must hold too:
+                    // cache traffic is excluded from it by design.
+                    assert_eq!(
+                        out.stats.profile, serial.stats.profile,
+                        "profile differs at chunk_splats={chunk_splats}, \
+                         budget={budget}, threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_chunked_render_matches_across_kernels_and_staging() {
+    // The cache axis crossed with kernel and staging selection, warm and
+    // cold: per configuration, in-core, cold-cache chunked and warm-cache
+    // chunked must all be the same frame.
+    let s = scene();
+    let cam = foveal_camera();
+    let chunk_splats = chunk_sizes(s.model.len())[0];
+    let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+    for kernel in [RasterKernel::Scalar, RasterKernel::Simd4] {
+        for staging in [RasterStaging::PerRow, RasterStaging::PerTile] {
+            let o = RenderOptions {
+                raster_kernel: kernel,
+                raster_staging: staging,
+                cache_budget_bytes: Some(usize::MAX),
+                ..opts(3)
+            };
+            let renderer = Renderer::new(o);
+            let in_core = renderer.render(&s.model, &cam);
+            let cold = renderer.render_source(&source, &cam);
+            let warm = renderer.render_source(&source, &cam);
+            assert_bit_identical(&cold, &in_core, 3);
+            assert_bit_identical(&warm, &in_core, 3);
+            assert_eq!(
+                warm.stats.profile, in_core.stats.profile,
+                "profile differs ({kernel:?}, {staging:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_chunked_frames_reuse_decodes_across_frames() {
+    // The cache's contract in counters: with an unbounded budget, frame 1
+    // misses every chunk once (the count pass) and hits it once (the
+    // scatter pass — the double decode the cache eliminates); frame 2 from
+    // the same renderer never decodes at all.
+    let s = scene();
+    let cam = camera(&s);
+    let chunk_splats = chunk_sizes(s.model.len())[0];
+    let source = metasapiens::scene::InCoreSource::new(s.model.clone(), chunk_splats);
+    let n = source.chunk_count() as u64;
+    let renderer = Renderer::new(RenderOptions {
+        cache_budget_bytes: Some(usize::MAX),
+        ..opts(3)
+    });
+    let first = renderer.render_source(&source, &cam);
+    let c1 = first.stats.profile.cache;
+    assert_eq!(c1.misses, n, "count pass decodes every chunk once");
+    assert_eq!(c1.hits, n, "scatter pass hits every chunk");
+    assert_eq!(c1.evictions, 0);
+    assert!((c1.hit_rate() - 0.5).abs() < 1e-9);
+    let second = renderer.render_source(&source, &cam);
+    let c2 = second.stats.profile.cache;
+    assert_eq!(c2.misses, 0, "a warm renderer never re-decodes");
+    assert_eq!(c2.hits, 2 * n);
+    assert_eq!(first.image, second.image);
+
+    // Budget 0 is pass-through: every access is a miss, twice per chunk.
+    let renderer = Renderer::new(RenderOptions {
+        cache_budget_bytes: Some(0),
+        ..opts(3)
+    });
+    let uncached = renderer.render_source(&source, &cam);
+    let c0 = uncached.stats.profile.cache;
+    assert_eq!(c0.hits, 0);
+    assert_eq!(c0.misses, 2 * n);
+    assert_eq!(c0.resident_bytes_peak, 0);
+    assert_eq!(uncached.image, first.image);
+}
+
 #[test]
 fn merging_reduces_work_units_and_imbalance() {
     // The §4.3 claim at the renderer level: fewer, better-balanced work
